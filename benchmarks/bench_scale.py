@@ -1,0 +1,13 @@
+"""Scale knobs for the benchmark harness.
+
+Benchmarks default to a reduced study size so the whole harness completes
+in minutes; set ``REPRO_FULL_SCALE=1`` for the paper's 50-user,
+ten-minute configuration.
+"""
+
+import os
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+N_USERS = 50 if FULL_SCALE else 8
+DURATION = 600.0 if FULL_SCALE else 300.0
+SIM_SECONDS = 120.0 if FULL_SCALE else 45.0

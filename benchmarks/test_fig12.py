@@ -1,0 +1,32 @@
+"""Benchmark: Figure 12 — day-long case-study load profiles."""
+
+from repro.monitor.casestudy import (
+    ENGINEERING_GROUP,
+    UNIVERSITY_LAB,
+    simulate_day,
+)
+
+
+def test_fig12_university_lab(benchmark):
+    day = benchmark(lambda: simulate_day(UNIVERSITY_LAB, seed=3))
+    benchmark.extra_info["peak_cpu"] = f"{day.peak_cpu() * 100:.0f}% (paper: saturates)"
+    benchmark.extra_info["peak_net"] = f"{day.peak_net_mbps():.2f} Mbps (paper <5)"
+    benchmark.extra_info["peak_users"] = (
+        f"{day.peak_total_users()} total / {day.peak_active_users()} active"
+    )
+    assert day.peak_cpu() > 0.99
+    assert day.peak_net_mbps() < 5.0
+
+
+def test_fig12_engineering_group(benchmark):
+    day = benchmark(lambda: simulate_day(ENGINEERING_GROUP, seed=3))
+    benchmark.extra_info["peak_cpu"] = (
+        f"{day.peak_cpu() * 100:.0f}% (paper: never saturates)"
+    )
+    benchmark.extra_info["peak_net"] = f"{day.peak_net_mbps():.2f} Mbps (paper <5)"
+    benchmark.extra_info["peak_users"] = (
+        f"{day.peak_total_users()} total / {day.peak_active_users()} active"
+    )
+    assert day.peak_cpu() < 0.95
+    assert day.peak_net_mbps() < 5.0
+    assert day.peak_active_users() < 0.6 * day.peak_total_users()

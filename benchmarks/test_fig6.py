@@ -1,0 +1,29 @@
+"""Benchmark: Figure 6 — added packet delays at lower bandwidths."""
+
+from repro.experiments.fig6 import added_delay_cdfs
+
+
+def test_fig6_scaled_bandwidth_delays(benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: added_delay_cdfs(n_users=4), rounds=1, iterations=1
+    )
+    for name, cdf in cdfs.items():
+        benchmark.extra_info[name] = (
+            f"median {cdf.median * 1000:.2f}ms, "
+            f">100ms {cdf.fraction_above(0.1) * 100:.1f}%"
+        )
+    assert cdfs["10Mbps"].percentile(75) < 0.005  # indistinguishable
+    assert cdfs["2Mbps"].median < 0.120            # noticeable, acceptable
+    assert cdfs["128Kbps"].fraction_above(0.100) > 0.8  # painful
+    assert cdfs["56Kbps"].fraction_above(0.100) > 0.9
+
+
+def test_section_5_4_scalability_verdicts(benchmark):
+    """Section 5.4: experiential classification of each bandwidth."""
+    from repro.experiments.scalability import PAPER_VERDICTS, verdicts
+
+    result = benchmark.pedantic(lambda: verdicts(n_users=4), rounds=1, iterations=1)
+    for name, verdict in result.items():
+        benchmark.extra_info[name] = f"{verdict} (paper: {PAPER_VERDICTS[name]})"
+    assert result["10Mbps"] == "indistinguishable"
+    assert result["56Kbps"] == "painful"

@@ -1,0 +1,81 @@
+"""Benchmarks: Section 7 — MPEG-II, live NTSC, and Quake pipelines."""
+
+from repro.experiments.multimedia import (
+    mpeg2_pipeline,
+    ntsc_pipeline,
+    quake_pipeline,
+)
+from repro.units import MBPS
+from repro.workloads.quake import QUAKE_FULL, QUAKE_QUARTER, QUAKE_THREE_QUARTER
+
+
+def _info(benchmark, result, paper):
+    benchmark.extra_info["measured"] = (
+        f"{result.fps:.1f} fps, {result.bandwidth_bps / MBPS:.1f} Mbps, "
+        f"{result.bottleneck}-bound"
+    )
+    benchmark.extra_info["paper"] = paper
+
+
+def test_mpeg2_stored_playback(benchmark):
+    result = benchmark(mpeg2_pipeline)
+    _info(benchmark, result, "20Hz, ~40Mbps, server-bound")
+    assert result.bottleneck == "server"
+    assert 17 <= result.fps <= 24
+
+
+def test_mpeg2_interlaced_trick(benchmark):
+    result = benchmark(lambda: mpeg2_pipeline(interlace=True))
+    _info(benchmark, result, "full frame rate at ~half bandwidth")
+    assert result.fps > mpeg2_pipeline().fps
+
+
+def test_ntsc_live_single(benchmark):
+    result = benchmark(ntsc_pipeline)
+    _info(benchmark, result, "16-20Hz, 19-23Mbps, server-bound")
+    assert result.bottleneck == "server"
+    assert 14 <= result.fps <= 22
+
+
+def test_ntsc_live_parallel_4x(benchmark):
+    result = benchmark(lambda: ntsc_pipeline(instances=4, half_size=True))
+    _info(benchmark, result, "25-28Hz, 59-66Mbps, console-bound")
+    assert result.bottleneck == "console"
+    assert 22 <= result.fps <= 34
+
+
+def test_quake_640x480(benchmark):
+    result = benchmark(lambda: quake_pipeline(QUAKE_FULL, scene_complexity=0.3))
+    _info(benchmark, result, "18-21Hz, 22-26Mbps")
+    assert 16 <= result.fps <= 23
+
+
+def test_quake_480x360(benchmark):
+    result = benchmark(
+        lambda: quake_pipeline(QUAKE_THREE_QUARTER, scene_complexity=0.3)
+    )
+    _info(benchmark, result, "28-34Hz, 20-24Mbps ('playable')")
+    assert 26 <= result.fps <= 37
+
+
+def test_quake_parallel_4x320x240(benchmark):
+    result = benchmark(lambda: quake_pipeline(QUAKE_QUARTER, instances=4))
+    _info(benchmark, result, "37-40Hz, 46-50Mbps, console-bound")
+    assert result.bottleneck == "console"
+    assert 30 <= result.fps <= 44
+
+
+def test_quake_real_translation_pipeline(benchmark):
+    """Time the real per-frame work: render + colormap translate + CSCS."""
+    from repro.core import cscs_codec
+    from repro.workloads.quake import QuakeEngine
+
+    engine = QuakeEngine(QUAKE_QUARTER, seed=1)
+
+    def one_frame():
+        indexed = engine.render_frame()
+        rgb = engine.rgb_frame(indexed)
+        return cscs_codec.encode_frame(rgb, 5)
+
+    payload = benchmark(one_frame)
+    benchmark.extra_info["payload_kb"] = round(len(payload) / 1000, 1)

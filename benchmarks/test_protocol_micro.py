@@ -1,0 +1,75 @@
+"""Microbenchmarks of the protocol implementation itself.
+
+Not a paper figure — these track the reproduction's own hot paths
+(encode, decode, wire round-trip, CSCS codec) so regressions in the
+library are visible alongside the figure-level benches.
+"""
+
+import numpy as np
+
+from repro.core import cscs_codec
+from repro.core.decoder import SlimDecoder
+from repro.core.encoder import SlimEncoder
+from repro.core.wire import Datagram, WireCodec
+from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Painter, Rect
+from repro.framebuffer.painter import synth_video_frame
+
+
+def test_micro_encode_damage_mixed_screen(benchmark):
+    fb = FrameBuffer(640, 480)
+    painter = Painter(fb)
+    painter.apply(PaintOp(PaintKind.FILL, Rect(0, 0, 640, 480), color=(40, 40, 60)))
+    painter.apply(PaintOp(PaintKind.TEXT, Rect(10, 10, 300, 200), seed=1))
+    painter.apply(PaintOp(PaintKind.IMAGE, Rect(330, 10, 290, 200), seed=2))
+    encoder = SlimEncoder()
+    commands = benchmark(lambda: encoder.encode_damage(fb, [fb.bounds]))
+    benchmark.extra_info["commands"] = len(commands)
+
+
+def test_micro_decode_command_stream(benchmark):
+    fb = FrameBuffer(640, 480)
+    painter = Painter(fb)
+    painter.apply(PaintOp(PaintKind.IMAGE, Rect(0, 0, 640, 480), seed=3))
+    commands = SlimEncoder().encode_damage(fb, [fb.bounds])
+    replica = FrameBuffer(640, 480)
+
+    def decode():
+        decoder = SlimDecoder(replica)
+        decoder.apply_all(commands)
+        return decoder
+
+    decoder = benchmark(decode)
+    benchmark.extra_info["pixels"] = decoder.pixels_written
+
+
+def test_micro_wire_roundtrip_large_set(benchmark):
+    rng = np.random.default_rng(1)
+    from repro.core import commands as cmd
+
+    data = rng.integers(0, 256, size=(240, 320, 3), dtype=np.uint8)
+    message = cmd.SetCommand(rect=Rect(0, 0, 320, 240), data=data)
+
+    def roundtrip():
+        tx, rx = WireCodec(), WireCodec()
+        out = None
+        for datagram in tx.fragment(message):
+            result = rx.accept(Datagram.from_bytes(datagram.to_bytes()))
+            if result is not None:
+                out = result
+        return out
+
+    out = benchmark(roundtrip)
+    assert out is not None
+
+
+def test_micro_cscs_encode_320x240(benchmark):
+    frame = synth_video_frame(Rect(0, 0, 320, 240), seed=1)
+    payload = benchmark(lambda: cscs_codec.encode_frame(frame, 16))
+    benchmark.extra_info["payload_kb"] = round(len(payload) / 1000, 1)
+
+
+def test_micro_cscs_decode_320x240(benchmark):
+    frame = synth_video_frame(Rect(0, 0, 320, 240), seed=1)
+    payload = cscs_codec.encode_frame(frame, 16)
+    decoded = benchmark(lambda: cscs_codec.decode_frame(payload, 320, 240, 16))
+    assert decoded.shape == (240, 320, 3)

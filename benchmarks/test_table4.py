@@ -1,0 +1,33 @@
+"""Benchmark: Table 4 — stand-alone Sun Ray 1 benchmarks."""
+
+from repro.experiments.table4 import EMACS_APP_SECONDS, run_echo
+from repro.server.xserver import XPerfSuite
+
+
+def test_table4_echo_response_time(benchmark):
+    echo = benchmark(run_echo)
+    benchmark.extra_info["measured_us"] = round(echo.total_seconds * 1e6, 1)
+    benchmark.extra_info["paper_us"] = 550
+    assert echo.total_seconds < 0.001
+
+
+def test_table4_emacs_echo(benchmark):
+    echo = benchmark(lambda: run_echo(app_seconds=EMACS_APP_SECONDS))
+    benchmark.extra_info["measured_ms"] = round(echo.total_seconds * 1e3, 2)
+    benchmark.extra_info["paper_ms"] = 3.83
+
+
+def test_table4_xmark_with_send(benchmark):
+    suite = XPerfSuite()
+    value = benchmark(lambda: suite.xmark(send=True))
+    benchmark.extra_info["measured"] = round(value, 3)
+    benchmark.extra_info["paper"] = 3.834
+    assert abs(value - 3.834) / 3.834 < 0.15
+
+
+def test_table4_xmark_no_send(benchmark):
+    suite = XPerfSuite()
+    value = benchmark(lambda: suite.xmark(send=False))
+    benchmark.extra_info["measured"] = round(value, 3)
+    benchmark.extra_info["paper"] = 7.505
+    assert abs(value - 7.505) / 7.505 < 0.15

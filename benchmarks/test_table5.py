@@ -1,0 +1,18 @@
+"""Benchmark: Table 5 — console protocol processing cost calibration."""
+
+from repro.console.calibration import calibrate, calibration_report
+from repro.core.costs import SUN_RAY_1_COSTS
+
+
+def test_table5_calibration(benchmark):
+    results = benchmark(calibrate)
+    rows = calibration_report(results)
+    for name, fit_s, fit_p, ref_s, ref_p in rows:
+        benchmark.extra_info[name] = (
+            f"fitted {fit_s:.0f}+{fit_p:.2f}/px vs paper {ref_s:.0f}+{ref_p:.2f}/px"
+        )
+    # Every fitted row must land within 5% of the published table.
+    for key, result in results.items():
+        startup_err, slope_err = result.error_vs(SUN_RAY_1_COSTS[key])
+        assert startup_err < 0.05, key
+        assert slope_err < 0.05, key

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Smart-card mobility: the paper's hot-desking demo.
+
+A user works at console A, pulls their card, walks to console B across
+the building, inserts the card — and "the screen is returned to the
+exact state at which it was left" (Section 1.1).  Statelessness makes
+this trivial: the session's true framebuffer lives on the server, so
+attaching is authentication plus a repaint.
+
+Run:  python examples/hotdesking.py
+"""
+
+import numpy as np
+
+from repro import (
+    AuthenticationManager,
+    Console,
+    PaintKind,
+    PaintOp,
+    Painter,
+    Rect,
+    SessionManager,
+    SlimDriver,
+    SlimEncoder,
+    SmartCard,
+)
+
+W, H = 640, 480
+
+
+def repaint_console(session, console) -> int:
+    """Push a session's entire framebuffer to a console (the attach path).
+
+    Returns the number of SLIM commands used — the encoder recovers
+    structure (fills, bicolor regions) even from a cold framebuffer.
+    """
+    encoder = SlimEncoder(materialize=True)
+    commands = encoder.encode_damage(session.framebuffer, [session.framebuffer.bounds])
+    for command in commands:
+        console.enqueue(command)
+    return len(commands)
+
+
+def main() -> None:
+    auth = AuthenticationManager()
+    sessions = SessionManager(auth, display_width=W, display_height=H)
+    card = SmartCard(user="brian", token="s3cret-token")
+    auth.enroll(card)
+
+    console_a = Console(W, H, address="console-a")
+    console_b = Console(W, H, address="console-b")
+
+    # Attach at console A and do some work.
+    session = sessions.attach(card, "console-a")
+    painter = Painter(session.framebuffer)
+    driver = SlimDriver(
+        encoder=SlimEncoder(materialize=True),
+        framebuffer=session.framebuffer,
+        send=console_a.enqueue,
+    )
+    work = [
+        PaintOp(PaintKind.FILL, Rect(0, 0, W, H), color=(60, 60, 80)),
+        PaintOp(PaintKind.TEXT, Rect(30, 30, 400, 200), seed=7, char_count=500),
+        PaintOp(PaintKind.IMAGE, Rect(450, 250, 150, 180), seed=8),
+    ]
+    for op in work:
+        painter.apply(op)
+        driver.update(0.0, [op])
+    assert session.framebuffer.equals(console_a.framebuffer)
+    print(f"working at {session.console_id}; screen painted")
+
+    # Pull the card: the session detaches but keeps running.
+    sessions.detach("console-a")
+    print("card pulled: session detached (still alive on the server)")
+
+    # More work happens while the user walks (a build finishes, say).
+    op = PaintOp(PaintKind.TEXT, Rect(30, 260, 300, 100), seed=9, char_count=200)
+    painter.apply(op)
+    driver.update(1.0, [op])
+
+    # Insert the card at console B.
+    session = sessions.attach(card, "console-b")
+    ncommands = repaint_console(session, console_b)
+    print(f"attached at {session.console_id}; repaint used {ncommands} commands")
+
+    identical = session.framebuffer.equals(console_b.framebuffer)
+    print(f"screen restored exactly       : {identical}")
+    stale = np.array_equal(console_a.framebuffer.pixels, console_b.framebuffer.pixels)
+    print(f"includes work done while away : {not stale}")
+    if not identical:
+        raise SystemExit("FAILED: restored screen differs")
+
+
+if __name__ == "__main__":
+    main()

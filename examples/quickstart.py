@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: a complete SLIM session in ~60 lines.
+
+Builds a server-side framebuffer and a console, connects them through
+the real wire format, paints a small desktop, and verifies that every
+pixel survived the trip — the core promise of the architecture: the
+console is a dumb frame buffer and the server owns the truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Console,
+    Datagram,
+    FrameBuffer,
+    PaintKind,
+    PaintOp,
+    Painter,
+    Rect,
+    SlimDriver,
+    SlimEncoder,
+    WireCodec,
+)
+
+WIDTH, HEIGHT = 640, 480
+
+
+def main() -> None:
+    # Server side: the authoritative framebuffer and the virtual driver.
+    server_fb = FrameBuffer(WIDTH, HEIGHT)
+    painter = Painter(server_fb)
+
+    # Console side: a dumb frame buffer fed by the wire codec.
+    console = Console(WIDTH, HEIGHT, record_service_times=True)
+    rx = WireCodec()
+
+    # The "network": encode each command into datagrams, parse them back.
+    tx = WireCodec()
+
+    def send(command) -> None:
+        for datagram in tx.fragment(command):
+            result = rx.accept(Datagram.from_bytes(datagram.to_bytes()))
+            if result is not None:
+                console.enqueue(result[0])
+
+    driver = SlimDriver(
+        encoder=SlimEncoder(materialize=True),
+        framebuffer=server_fb,
+        send=send,
+    )
+
+    # Paint a small desktop: wallpaper, a terminal window with text, a
+    # photo viewer, then scroll the terminal.
+    desktop = [
+        PaintOp(PaintKind.FILL, Rect(0, 0, WIDTH, HEIGHT), color=(52, 70, 90)),
+        PaintOp(PaintKind.FILL, Rect(40, 40, 360, 260), color=(255, 255, 255)),
+        PaintOp(
+            PaintKind.TEXT,
+            Rect(48, 48, 344, 240),
+            fg=(0, 0, 0),
+            bg=(255, 255, 255),
+            seed=1,
+            char_count=600,
+        ),
+        PaintOp(PaintKind.IMAGE, Rect(420, 60, 180, 140), seed=2, uniform_fraction=0.2),
+        PaintOp(
+            PaintKind.COPY,
+            Rect(48, 48, 344, 227),
+            src=Rect(48, 61, 344, 227),
+        ),
+    ]
+    for op in desktop:
+        painter.apply(op)
+        driver.update(0.0, [op])
+
+    # The console now holds exactly the server's pixels.
+    match = server_fb.equals(console.framebuffer)
+    stats = driver.stats
+    print(f"pixels identical on both ends : {match}")
+    print(f"display updates               : {stats.updates}")
+    print(f"SLIM commands                 : {stats.commands}")
+    print(f"bytes on the wire             : {stats.wire_bytes:,}")
+    raw = stats.pixels * 3
+    print(f"raw pixel bytes avoided       : {raw:,} "
+          f"(compression {raw / stats.payload_bytes:.1f}x)")
+    total_ms = sum(console.stats.service_times) * 1000
+    print(f"console decode time           : {total_ms:.2f} ms")
+    if not match:
+        raise SystemExit("FAILED: framebuffers differ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro — a reproduction of "The Interactive Performance of SLIM: a
+Stateless, Thin-Client Architecture" (Schmidt, Lam & Northcutt, SOSP '99).
+
+The package implements the complete SLIM system in simulation:
+
+* :mod:`repro.core` — the SLIM protocol: display commands, wire format,
+  encoder/decoder, console cost model, bandwidth allocation, sessions.
+* :mod:`repro.framebuffer` — rectangles, pixels, YUV, painting.
+* :mod:`repro.netsim` — the switched interconnection fabric.
+* :mod:`repro.console` — the Sun Ray 1 desktop unit.
+* :mod:`repro.server` — machines, CPU scheduling, display drivers, the
+  x11perf model.
+* :mod:`repro.xproto` — X11 / raw-pixel / VNC baselines.
+* :mod:`repro.workloads` — the Table 2 benchmark applications plus
+  video and Quake.
+* :mod:`repro.loadgen` — trace playback and yardstick applications.
+* :mod:`repro.analysis` — traces, CDFs, statistics.
+* :mod:`repro.monitor` — the Section 6.3 case studies.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import Console, FrameBuffer, Painter, PaintOp, PaintKind
+    from repro import Rect, SlimDriver, SlimEncoder
+
+    fb = FrameBuffer(1280, 1024)
+    console = Console(1280, 1024)
+    driver = SlimDriver(
+        encoder=SlimEncoder(), framebuffer=fb,
+        send=lambda c: console.enqueue(c),
+    )
+    op = PaintOp(PaintKind.FILL, Rect(0, 0, 1280, 1024), color=(32, 32, 64))
+    Painter(fb).apply(op)
+    driver.update(0.0, [op])
+"""
+
+from repro.errors import (
+    ReproError,
+    ProtocolError,
+    WireFormatError,
+    GeometryError,
+    SessionError,
+    SimulationError,
+    SchedulerError,
+    BandwidthError,
+    WorkloadError,
+)
+from repro.framebuffer import (
+    FrameBuffer,
+    Rect,
+    Painter,
+    PaintOp,
+    PaintKind,
+)
+from repro.core import (
+    SetCommand,
+    BitmapCommand,
+    FillCommand,
+    CopyCommand,
+    CscsCommand,
+    KeyEvent,
+    MouseEvent,
+    WireCodec,
+    Datagram,
+    SlimEncoder,
+    EncoderConfig,
+    SlimDecoder,
+    ConsoleCostModel,
+    SUN_RAY_1_COSTS,
+    BandwidthAllocator,
+    AuthenticationManager,
+    SessionManager,
+    SmartCard,
+)
+from repro.console import Console, MicroOpModel
+from repro.server import SlimDriver, Scheduler, ServerHost
+from repro.netsim import Simulator, Network, Endpoint, Packet
+from repro.workloads import BENCHMARK_APPS, UserSession, run_user_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "WireFormatError",
+    "GeometryError",
+    "SessionError",
+    "SimulationError",
+    "SchedulerError",
+    "BandwidthError",
+    "WorkloadError",
+    "FrameBuffer",
+    "Rect",
+    "Painter",
+    "PaintOp",
+    "PaintKind",
+    "SetCommand",
+    "BitmapCommand",
+    "FillCommand",
+    "CopyCommand",
+    "CscsCommand",
+    "KeyEvent",
+    "MouseEvent",
+    "WireCodec",
+    "Datagram",
+    "SlimEncoder",
+    "EncoderConfig",
+    "SlimDecoder",
+    "ConsoleCostModel",
+    "SUN_RAY_1_COSTS",
+    "BandwidthAllocator",
+    "AuthenticationManager",
+    "SessionManager",
+    "SmartCard",
+    "Console",
+    "MicroOpModel",
+    "SlimDriver",
+    "Scheduler",
+    "ServerHost",
+    "Simulator",
+    "Network",
+    "Endpoint",
+    "Packet",
+    "BENCHMARK_APPS",
+    "UserSession",
+    "run_user_study",
+    "__version__",
+]

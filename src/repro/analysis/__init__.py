@@ -1,0 +1,32 @@
+"""Trace logging and statistical post-processing.
+
+The paper's methodology logs every protocol event once and answers all
+questions by post-processing (Section 3.1): "we logged all the
+information related to their network traffic and resource utilization.
+In this way, we can investigate different aspects of the system by
+post-processing the data, rather than conducting more user studies."
+This package is that half of the methodology.
+"""
+
+from repro.analysis.cdf import Cdf, histogram
+from repro.analysis.stats import linear_fit, summarize, Summary
+from repro.analysis.traces import (
+    InputRecord,
+    UpdateRecord,
+    SessionTrace,
+    load_traces,
+    save_traces,
+)
+
+__all__ = [
+    "Cdf",
+    "histogram",
+    "linear_fit",
+    "summarize",
+    "Summary",
+    "InputRecord",
+    "UpdateRecord",
+    "SessionTrace",
+    "load_traces",
+    "save_traces",
+]

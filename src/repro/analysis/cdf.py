@@ -1,0 +1,89 @@
+"""Cumulative distribution utilities.
+
+Figures 2, 3, 5, 6, and 7 of the paper are all cumulative distributions;
+this module provides the one representation the experiment code shares.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class Cdf:
+    """An empirical cumulative distribution over scalar samples."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        values = np.asarray(sorted(float(s) for s in samples), dtype=np.float64)
+        if values.size == 0:
+            raise ReproError("cannot build a CDF from zero samples")
+        self._values = values
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self._values.size)
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        return float(np.searchsorted(self._values, threshold, side="right")) / self.n
+
+    def fraction_above(self, threshold: float) -> float:
+        """P(X > threshold)."""
+        return 1.0 - self.fraction_below(threshold)
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self._values, q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    @property
+    def min(self) -> float:
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        return float(self._values[-1])
+
+    # -- rendering -------------------------------------------------------------
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs, decimated for plotting."""
+        n = self.n
+        idx = np.unique(np.linspace(0, n - 1, min(max_points, n)).astype(int))
+        return [
+            (float(self._values[i]), float(i + 1) / n)
+            for i in idx
+        ]
+
+    def series(self, thresholds: Sequence[float]) -> List[Tuple[float, float]]:
+        """Cumulative fractions at chosen thresholds (paper-style axes)."""
+        return [(float(t), self.fraction_below(t)) for t in thresholds]
+
+
+def histogram(
+    samples: Iterable[float], bucket: float
+) -> List[Tuple[float, int]]:
+    """Fixed-width histogram like the paper's figure captions describe.
+
+    Returns (bucket_left_edge, count) pairs for non-empty buckets.
+    """
+    if bucket <= 0:
+        raise ReproError(f"bucket size must be positive, got {bucket}")
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        return []
+    indices = np.floor(values / bucket).astype(np.int64)
+    unique, counts = np.unique(indices, return_counts=True)
+    return [(float(i * bucket), int(c)) for i, c in zip(unique, counts)]

@@ -1,0 +1,20 @@
+"""The SLIM console: a network-attached dumb framebuffer (Section 2.3).
+
+The console decodes SLIM display commands into a local framebuffer under a
+timing model of the Sun Ray 1 hardware (100 MHz microSPARC-IIep + ATI Rage
+128).  :mod:`repro.console.microops` holds the micro-operation timing
+decomposition; :mod:`repro.console.calibration` reproduces the paper's
+Table 5 measurement methodology (sustained-rate probes + linear fits).
+"""
+
+from repro.console.console import Console, ConsoleStats
+from repro.console.microops import MicroOpModel
+from repro.console.calibration import calibrate, CalibrationResult
+
+__all__ = [
+    "Console",
+    "ConsoleStats",
+    "MicroOpModel",
+    "calibrate",
+    "CalibrationResult",
+]

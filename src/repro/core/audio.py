@@ -1,0 +1,152 @@
+"""Audio transport over the SLIM protocol.
+
+The protocol "consists of a small number of messages for communicating
+status ..., passing keyboard and mouse state, transporting audio data,
+and updating the display" (Section 2.2).  Audio is the one isochronous
+flow in an otherwise event-driven protocol: the server emits fixed-size
+sample blocks at a fixed cadence, and the console plays them out of a
+small buffer.  Late or lost blocks underrun the buffer and are audible,
+so audio is the most latency-sensitive consumer of the interconnect —
+a useful canary in the sharing experiments.
+
+The Sun Ray 1 plays 8 kHz..48 kHz PCM through a USB audio device; the
+model here follows the common 8 kHz, 16-bit mono telephony default with
+10 ms blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.core.commands import AudioData
+from repro.core.wire import message_wire_nbytes
+
+
+@dataclass(frozen=True)
+class AudioFormat:
+    """PCM stream parameters."""
+
+    sample_rate_hz: int = 8000
+    bytes_per_sample: int = 2
+    channels: int = 1
+    block_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0 or self.bytes_per_sample <= 0:
+            raise ProtocolError("invalid audio format")
+        if self.channels not in (1, 2):
+            raise ProtocolError("audio must be mono or stereo")
+        if self.block_ms <= 0:
+            raise ProtocolError("block duration must be positive")
+
+    @property
+    def block_nbytes(self) -> int:
+        samples = int(self.sample_rate_hz * self.block_ms / 1000)
+        return samples * self.bytes_per_sample * self.channels
+
+    @property
+    def block_seconds(self) -> float:
+        return self.block_ms / 1000.0
+
+    @property
+    def bitrate_bps(self) -> float:
+        return self.sample_rate_hz * self.bytes_per_sample * self.channels * 8.0
+
+    def wire_bps(self) -> float:
+        """On-the-wire rate including per-block protocol + UDP headers."""
+        per_block = message_wire_nbytes(AudioData(nbytes=self.block_nbytes))
+        return per_block * 8.0 / self.block_seconds
+
+
+#: The defaults above: 8 kHz 16-bit mono, 10 ms blocks.
+TELEPHONY = AudioFormat()
+#: CD-quality stereo for the multimedia experiments' soundtracks.
+CD_QUALITY = AudioFormat(sample_rate_hz=44100, bytes_per_sample=2, channels=2)
+
+
+class AudioSource:
+    """Server side: emits one AudioData block per cadence tick."""
+
+    def __init__(self, fmt: AudioFormat = TELEPHONY) -> None:
+        self.fmt = fmt
+        self.blocks_sent = 0
+
+    def next_block(self) -> AudioData:
+        self.blocks_sent += 1
+        return AudioData(nbytes=self.fmt.block_nbytes)
+
+    def send_time(self, block_index: int) -> float:
+        """Nominal emission time of the given block."""
+        return block_index * self.fmt.block_seconds
+
+
+class PlayoutBuffer:
+    """Console side: jitter buffer with underrun accounting.
+
+    Blocks arrive with network delay; playout begins once ``prefill``
+    blocks are buffered and then consumes one block per cadence tick.
+    A tick with an empty buffer is an underrun (an audible glitch).
+
+    This is a virtual-time model: feed arrivals with :meth:`arrive` in
+    any order, then call :meth:`drain` to simulate playout.
+    """
+
+    def __init__(self, fmt: AudioFormat = TELEPHONY, prefill: int = 2) -> None:
+        if prefill < 1:
+            raise ProtocolError("prefill must be at least one block")
+        self.fmt = fmt
+        self.prefill = prefill
+        self._arrivals: List[float] = []
+        self.underruns = 0
+        self.blocks_played = 0
+
+    def arrive(self, time: float) -> None:
+        """Record one block's arrival time."""
+        self._arrivals.append(time)
+
+    def drain(self) -> float:
+        """Simulate playout; returns total glitch time in seconds.
+
+        Playback starts ``prefill`` block-times after the first arrival
+        (the jitter cushion), then block *i* plays in sequence at its
+        fixed slot.  A block that has not arrived by its slot is an
+        underrun and play continues with the next slot (the late block
+        is dropped, as real playout hardware does).
+        """
+        if not self._arrivals:
+            return 0.0
+        block = self.fmt.block_seconds
+        start = self._arrivals[0] + self.prefill * block
+        glitch = 0.0
+        for index, arrival in enumerate(self._arrivals):
+            slot = start + index * block
+            if arrival > slot + 1e-12:
+                self.underruns += 1
+                glitch += arrival - slot
+            else:
+                self.blocks_played += 1
+        return glitch
+
+    def underrun_rate(self) -> float:
+        total = self.blocks_played + self.underruns
+        return self.underruns / total if total else 0.0
+
+
+def audio_quality_under_jitter(
+    delays: List[float], fmt: AudioFormat = TELEPHONY, prefill: int = 2
+) -> float:
+    """Underrun rate for a stream experiencing the given network delays.
+
+    ``delays[i]`` is block *i*'s one-way network delay; emission is at
+    the nominal cadence.  Convenience wrapper used by the sharing
+    experiments to judge whether background load would be audible.
+    """
+    buffer = PlayoutBuffer(fmt, prefill=prefill)
+    for index, delay in enumerate(delays):
+        if delay < 0:
+            raise ProtocolError("negative network delay")
+        buffer.arrive(index * fmt.block_seconds + delay)
+    buffer.drain()
+    return buffer.underrun_rate()

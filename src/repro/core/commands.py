@@ -1,0 +1,326 @@
+"""SLIM protocol message types (Table 1 of the paper).
+
+Display commands may be *materialized* (carrying real pixel payloads as
+numpy arrays) or *accounting-only* (payload omitted, sizes computed from
+geometry).  Fidelity tests and the examples run materialized; the long
+statistical simulations behind Figures 2-11 run accounting-only for speed.
+Both modes report identical wire sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError, ProtocolError
+from repro.framebuffer.regions import Rect
+from repro.framebuffer.yuv import CSCS_LADDER
+
+
+class Opcode(enum.IntEnum):
+    """Wire opcodes for every SLIM message type."""
+
+    SET = 1
+    BITMAP = 2
+    FILL = 3
+    COPY = 4
+    CSCS = 5
+    KEY_EVENT = 16
+    MOUSE_EVENT = 17
+    AUDIO_DATA = 18
+    STATUS = 19
+    BANDWIDTH_REQUEST = 20
+    BANDWIDTH_GRANT = 21
+
+
+def bitmap_row_bytes(width: int) -> int:
+    """Bytes per bitmap row: 1 bit/pixel, each row padded to a byte."""
+    return (width + 7) // 8
+
+
+def cscs_plane_bytes(width: int, height: int, bits_per_pixel: int) -> int:
+    """Exact payload size of a CSCS command's packed YUV planes."""
+    if bits_per_pixel not in CSCS_LADDER:
+        raise GeometryError(f"unsupported CSCS depth {bits_per_pixel}")
+    (fx, fy), luma_bits, chroma_bits = CSCS_LADDER[bits_per_pixel]
+    cw = -(-width // fx)
+    ch = -(-height // fy)
+    luma = (width * height * luma_bits + 7) // 8
+    chroma = 2 * ((cw * ch * chroma_bits + 7) // 8)
+    return luma + chroma
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for all SLIM protocol messages."""
+
+    @property
+    def opcode(self) -> Opcode:
+        raise NotImplementedError
+
+    def payload_nbytes(self) -> int:
+        """Size of this message's body on the wire (header excluded)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DisplayCommand(Command):
+    """Base class for the five display commands of Table 1."""
+
+    rect: Rect
+
+    def __post_init__(self) -> None:
+        if self.rect.empty:
+            raise GeometryError(f"display command on empty rect {self.rect}")
+
+    @property
+    def pixels(self) -> int:
+        """Pixels this command touches on the console display."""
+        return self.rect.area
+
+
+# Fixed field sizes, in bytes, for rectangle coordinates on the wire:
+# x, y, w, h each as uint16.
+_RECT_BYTES = 8
+_COLOR_BYTES = 3
+
+
+@dataclass(frozen=True)
+class SetCommand(DisplayCommand):
+    """SET: literal pixel values for a rectangular region.
+
+    The wire payload packs pixels as 3 bytes each ("pixels must be expanded
+    from packed 3-byte format to 4-byte quantities" — Section 4.3).
+    """
+
+    data: Optional[np.ndarray] = None  # (h, w, 3) uint8 when materialized
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.data is not None and self.data.shape != (self.rect.h, self.rect.w, 3):
+            raise GeometryError(
+                f"SET data shape {self.data.shape} does not match {self.rect}"
+            )
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.SET
+
+    def payload_nbytes(self) -> int:
+        return _RECT_BYTES + self.rect.area * 3
+
+
+@dataclass(frozen=True)
+class BitmapCommand(DisplayCommand):
+    """BITMAP: expand a 1-bit bitmap into foreground/background colors."""
+
+    fg: Tuple[int, int, int] = (0, 0, 0)
+    bg: Tuple[int, int, int] = (255, 255, 255)
+    bitmap: Optional[np.ndarray] = None  # (h, w) bool when materialized
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bitmap is not None and self.bitmap.shape != (self.rect.h, self.rect.w):
+            raise GeometryError(
+                f"BITMAP shape {self.bitmap.shape} does not match {self.rect}"
+            )
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.BITMAP
+
+    def payload_nbytes(self) -> int:
+        return (
+            _RECT_BYTES
+            + 2 * _COLOR_BYTES
+            + bitmap_row_bytes(self.rect.w) * self.rect.h
+        )
+
+
+@dataclass(frozen=True)
+class FillCommand(DisplayCommand):
+    """FILL: flood a rectangular region with one pixel value."""
+
+    color: Tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.FILL
+
+    def payload_nbytes(self) -> int:
+        return _RECT_BYTES + _COLOR_BYTES
+
+
+@dataclass(frozen=True)
+class CopyCommand(DisplayCommand):
+    """COPY: move a framebuffer region; ``rect`` is the destination."""
+
+    src_x: int = 0
+    src_y: int = 0
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.COPY
+
+    @property
+    def src(self) -> Rect:
+        return Rect(self.src_x, self.src_y, self.rect.w, self.rect.h)
+
+    def payload_nbytes(self) -> int:
+        return _RECT_BYTES + 4  # destination rect + source origin
+
+
+@dataclass(frozen=True)
+class CscsCommand(DisplayCommand):
+    """CSCS: color-space convert YUV data, with optional bilinear scaling.
+
+    ``rect`` is the destination (post-scaling) region on the display;
+    ``src_w`` x ``src_h`` is the transmitted frame size.  When they differ
+    the console scales bilinearly ("reducing the resolution of the media
+    streams and scaling them locally on the SLIM console" — Section 7).
+    """
+
+    src_w: int = 0
+    src_h: int = 0
+    bits_per_pixel: int = 16
+    payload: Optional[bytes] = None  # packed planes when materialized
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        src_w = self.src_w or self.rect.w
+        src_h = self.src_h or self.rect.h
+        object.__setattr__(self, "src_w", src_w)
+        object.__setattr__(self, "src_h", src_h)
+        if self.bits_per_pixel not in CSCS_LADDER:
+            raise ProtocolError(f"unsupported CSCS depth {self.bits_per_pixel}")
+        expected = cscs_plane_bytes(src_w, src_h, self.bits_per_pixel)
+        if self.payload is not None and len(self.payload) != expected:
+            raise ProtocolError(
+                f"CSCS payload is {len(self.payload)} bytes, expected {expected}"
+            )
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.CSCS
+
+    @property
+    def scales(self) -> bool:
+        """True when the console must bilinearly scale the frame."""
+        return (self.src_w, self.src_h) != (self.rect.w, self.rect.h)
+
+    @property
+    def source_pixels(self) -> int:
+        """Pixels actually transmitted (pre-scaling)."""
+        return self.src_w * self.src_h
+
+    def payload_nbytes(self) -> int:
+        return (
+            _RECT_BYTES
+            + 4  # source size
+            + 1  # bits per pixel
+            + cscs_plane_bytes(self.src_w, self.src_h, self.bits_per_pixel)
+        )
+
+
+# --- non-display messages --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyEvent(Command):
+    """A keyboard state change sent from console to server."""
+
+    code: int
+    pressed: bool
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.KEY_EVENT
+
+    def payload_nbytes(self) -> int:
+        return 3  # code (2) + state (1)
+
+
+@dataclass(frozen=True)
+class MouseEvent(Command):
+    """A mouse position/button report sent from console to server."""
+
+    x: int
+    y: int
+    buttons: int = 0
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.MOUSE_EVENT
+
+    def payload_nbytes(self) -> int:
+        return 5  # x (2) + y (2) + buttons (1)
+
+
+@dataclass(frozen=True)
+class AudioData(Command):
+    """A block of audio samples (size-accounted only)."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ProtocolError("audio payload size must be non-negative")
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.AUDIO_DATA
+
+    def payload_nbytes(self) -> int:
+        return self.nbytes
+
+
+@dataclass(frozen=True)
+class StatusMessage(Command):
+    """Console <-> server status (liveness, flow control, geometry)."""
+
+    kind: int = 0
+    value: int = 0
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.STATUS
+
+    def payload_nbytes(self) -> int:
+        return 6  # kind (2) + value (4)
+
+
+@dataclass(frozen=True)
+class BandwidthRequest(Command):
+    """A sender's request for console bandwidth (Section 7)."""
+
+    client_id: int
+    bits_per_second: float
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.BANDWIDTH_REQUEST
+
+    def payload_nbytes(self) -> int:
+        return 8  # client (4) + rate (4, in kbps on the wire)
+
+
+@dataclass(frozen=True)
+class BandwidthGrant(Command):
+    """The console's response to a :class:`BandwidthRequest`."""
+
+    client_id: int
+    bits_per_second: float
+
+    @property
+    def opcode(self) -> Opcode:
+        return Opcode.BANDWIDTH_GRANT
+
+    def payload_nbytes(self) -> int:
+        return 8
+
+
+#: Convenient name for "any of the five Table 1 commands".
+DISPLAY_OPCODES = (Opcode.SET, Opcode.BITMAP, Opcode.FILL, Opcode.COPY, Opcode.CSCS)

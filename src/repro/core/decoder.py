@@ -1,0 +1,79 @@
+"""Console-side SLIM command execution.
+
+A :class:`SlimDecoder` is the logic half of a SLIM console: it receives
+display commands and mutates a local framebuffer.  It is deliberately dumb
+— no state survives beyond the framebuffer itself, matching the paper's
+"a SLIM console is simply a dumb frame buffer" (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.core import commands as cmd
+from repro.core import cscs_codec
+from repro.framebuffer.framebuffer import FrameBuffer
+from repro.framebuffer.regions import Rect
+from repro.framebuffer.yuv import bilinear_scale
+
+
+class SlimDecoder:
+    """Applies display commands to a console framebuffer.
+
+    Args:
+        framebuffer: The console's local (soft-state) framebuffer.
+    """
+
+    def __init__(self, framebuffer: FrameBuffer) -> None:
+        self.framebuffer = framebuffer
+        self.commands_applied: Counter = Counter()
+        self.pixels_written = 0
+
+    def apply(self, command: cmd.Command) -> Optional[Rect]:
+        """Execute one command; returns the damaged rect for display ops.
+
+        Non-display messages (input echoes, status) are accepted and
+        ignored — a console never interprets them beyond forwarding.
+        Display commands must be materialized (SET/BITMAP/CSCS payloads
+        present); accounting-only streams never reach a decoder.
+        """
+        if not isinstance(command, cmd.DisplayCommand):
+            return None
+        damaged = self._apply_display(command)
+        self.commands_applied[command.opcode] += 1
+        self.pixels_written += damaged.area
+        return damaged
+
+    def _apply_display(self, command: cmd.DisplayCommand) -> Rect:
+        fb = self.framebuffer
+        if isinstance(command, cmd.SetCommand):
+            if command.data is None:
+                raise ProtocolError("cannot decode accounting-only SET")
+            return fb.blit(command.rect, command.data)
+        if isinstance(command, cmd.BitmapCommand):
+            if command.bitmap is None:
+                raise ProtocolError("cannot decode accounting-only BITMAP")
+            return fb.expand_bitmap(command.rect, command.bitmap, command.fg, command.bg)
+        if isinstance(command, cmd.FillCommand):
+            return fb.fill(command.rect, command.color)
+        if isinstance(command, cmd.CopyCommand):
+            return fb.copy_within(command.src, command.rect.x, command.rect.y)
+        if isinstance(command, cmd.CscsCommand):
+            if command.payload is None:
+                raise ProtocolError("cannot decode accounting-only CSCS")
+            frame = cscs_codec.decode_frame(
+                command.payload, command.src_w, command.src_h, command.bits_per_pixel
+            )
+            if command.scales:
+                frame = bilinear_scale(frame, command.rect.w, command.rect.h)
+            return fb.blit(command.rect, frame)
+        raise ProtocolError(f"unknown display command {type(command).__name__}")
+
+    def apply_all(self, commands) -> int:
+        """Execute a command stream; returns total pixels written."""
+        before = self.pixels_written
+        for command in commands:
+            self.apply(command)
+        return self.pixels_written - before

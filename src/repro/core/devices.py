@@ -1,0 +1,96 @@
+"""Remote device management (Section 2.4).
+
+Peripherals attach to the system through a console's USB hub; the server's
+remote device manager tracks which devices live behind which console and
+routes their I/O into the owning user's session.  Devices are as stateless
+as the console: unplugging and replugging (or moving to another console
+with the smart card) re-announces them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SessionError
+
+
+class DeviceClass(enum.Enum):
+    """USB device classes the Sun Ray 1 console fans in."""
+
+    KEYBOARD = "keyboard"
+    MOUSE = "mouse"
+    AUDIO = "audio"
+    SMART_CARD_READER = "smart-card-reader"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Device:
+    """One peripheral plugged into a console's USB hub."""
+
+    device_id: str
+    device_class: DeviceClass
+    console_id: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 3:
+            raise SessionError(
+                f"Sun Ray 1 hub has 4 ports; port {self.port} is invalid"
+            )
+
+
+class RemoteDeviceManager:
+    """Tracks peripherals and routes them to sessions."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, Device] = {}
+        self._by_console: Dict[str, Dict[int, str]] = {}
+
+    def plug(self, device: Device) -> None:
+        """Announce a device; the port must be free on that console."""
+        ports = self._by_console.setdefault(device.console_id, {})
+        if device.port in ports:
+            raise SessionError(
+                f"port {device.port} on console {device.console_id} is occupied"
+            )
+        if device.device_id in self._devices:
+            raise SessionError(f"device {device.device_id} already plugged")
+        ports[device.port] = device.device_id
+        self._devices[device.device_id] = device
+
+    def unplug(self, device_id: str) -> Device:
+        """Remove a device (pulled from the hub or console power-cycled)."""
+        device = self._devices.pop(device_id, None)
+        if device is None:
+            raise SessionError(f"unknown device {device_id}")
+        ports = self._by_console.get(device.console_id, {})
+        ports.pop(device.port, None)
+        return device
+
+    def unplug_console(self, console_id: str) -> List[Device]:
+        """Drop every device behind a console (console unplugged)."""
+        ports = self._by_console.pop(console_id, {})
+        removed = []
+        for device_id in list(ports.values()):
+            removed.append(self._devices.pop(device_id))
+        return removed
+
+    def devices_at(self, console_id: str) -> List[Device]:
+        """Devices currently on one console, ordered by port."""
+        ports = self._by_console.get(console_id, {})
+        return [self._devices[ports[p]] for p in sorted(ports)]
+
+    def find(
+        self, console_id: str, device_class: DeviceClass
+    ) -> Optional[Device]:
+        """First device of a class on a console (e.g. *the* keyboard)."""
+        for device in self.devices_at(console_id):
+            if device.device_class == device_class:
+                return device
+        return None
+
+    def __len__(self) -> int:
+        return len(self._devices)

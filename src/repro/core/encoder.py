@@ -1,0 +1,293 @@
+"""Server-side SLIM encoding: rendering operations -> display commands.
+
+This is where the protocol's bandwidth savings happen (Figure 4): the
+encoder exploits the redundancy in application pixel output by selecting
+the cheapest adequate command — FILL for solid regions, BITMAP for bicolor
+(text) regions, COPY for moves, CSCS for video, SET for everything else.
+
+Two entry points:
+
+* :meth:`SlimEncoder.encode_op` — the device-driver path ("applications
+  can be ported by simply changing the device drivers" — Section 2.2):
+  the driver sees the high-level paint op and can translate it directly.
+* :meth:`SlimEncoder.encode_damage` — the pixel-diff path used by the
+  VNC-style comparator and by fidelity tests: only the framebuffer
+  contents are available, and the encoder rediscovers structure by
+  analysing tiles.
+
+Both paths run materialized (real payloads, used by fidelity tests and the
+examples) or accounting-only (sizes computed from op metadata, used by the
+long statistical experiments).  Command-selection ablations (Section 5 of
+DESIGN.md) switch individual commands off via :class:`EncoderConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.core import commands as cmd
+from repro.core import cscs_codec
+from repro.framebuffer.framebuffer import FrameBuffer
+from repro.framebuffer.painter import PaintKind, PaintOp, synth_glyph_bitmap
+from repro.framebuffer.regions import Rect, tile_rect
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Tunable encoder policy.
+
+    Attributes:
+        use_fill: Detect/emit FILL commands (off -> SET).
+        use_bitmap: Detect/emit BITMAP commands (off -> SET).
+        use_copy: Emit COPY for move ops (off -> SET of the destination).
+        use_cscs: Emit CSCS for video ops (off -> SET).
+        tile_w: Analysis tile width for the pixel-diff path.
+        tile_h: Analysis tile height for the pixel-diff path.
+        cscs_bits_per_pixel: Default depth for video payloads.
+    """
+
+    use_fill: bool = True
+    use_bitmap: bool = True
+    use_copy: bool = True
+    use_cscs: bool = True
+    tile_w: int = 64
+    tile_h: int = 64
+    cscs_bits_per_pixel: int = 16
+
+
+class SlimEncoder:
+    """Translates paint operations / pixel damage into SLIM commands.
+
+    Args:
+        config: Encoder policy; defaults replicate the Sun Ray 1 driver.
+        materialize: When True, commands carry real payloads read from (or
+            synthesised consistently with) the server framebuffer.  When
+            False, commands carry geometry only; wire sizes are identical.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EncoderConfig] = None,
+        materialize: bool = True,
+    ) -> None:
+        self.config = config or EncoderConfig()
+        self.materialize = materialize
+
+    # ------------------------------------------------------------------
+    # Device-driver path: the op itself tells us the structure.
+    # ------------------------------------------------------------------
+    def encode_op(
+        self,
+        op: PaintOp,
+        framebuffer: Optional[FrameBuffer] = None,
+    ) -> List[cmd.DisplayCommand]:
+        """Encode one paint op.
+
+        ``framebuffer`` is the *post-paint* server framebuffer; it is
+        required when materializing and ignored otherwise.
+        """
+        if self.materialize and framebuffer is None and op.kind is not PaintKind.COPY:
+            raise ProtocolError("materializing encoder needs the framebuffer")
+        if op.kind is PaintKind.FILL:
+            return self._encode_fill(op, framebuffer)
+        if op.kind is PaintKind.TEXT:
+            return self._encode_text(op, framebuffer)
+        if op.kind is PaintKind.IMAGE:
+            return self._encode_image(op, framebuffer)
+        if op.kind is PaintKind.COPY:
+            return self._encode_copy(op, framebuffer)
+        if op.kind is PaintKind.VIDEO:
+            return self._encode_video(op, framebuffer)
+        raise ProtocolError(f"unknown paint kind {op.kind!r}")
+
+    def encode_ops(
+        self,
+        ops,
+        framebuffer: Optional[FrameBuffer] = None,
+    ) -> List[cmd.DisplayCommand]:
+        """Encode a sequence of paint ops in order."""
+        out: List[cmd.DisplayCommand] = []
+        for op in ops:
+            out.extend(self.encode_op(op, framebuffer))
+        return out
+
+    # -- per-kind handlers ------------------------------------------------
+    def _encode_fill(
+        self, op: PaintOp, fb: Optional[FrameBuffer]
+    ) -> List[cmd.DisplayCommand]:
+        if self.config.use_fill:
+            return [cmd.FillCommand(rect=op.rect, color=op.color)]
+        return [self._set_for_rect(op.rect, fb, flat_color=op.color)]
+
+    def _encode_text(
+        self, op: PaintOp, fb: Optional[FrameBuffer]
+    ) -> List[cmd.DisplayCommand]:
+        if not self.config.use_bitmap:
+            return [self._set_for_rect(op.rect, fb)]
+        bitmap = None
+        if self.materialize:
+            assert fb is not None
+            block = fb.read(op.rect)
+            fg = np.asarray(op.fg, dtype=np.uint8)
+            bitmap = (block == fg).all(axis=2)
+        return [cmd.BitmapCommand(rect=op.rect, fg=op.fg, bg=op.bg, bitmap=bitmap)]
+
+    def _encode_image(
+        self, op: PaintOp, fb: Optional[FrameBuffer]
+    ) -> List[cmd.DisplayCommand]:
+        if self.materialize:
+            assert fb is not None
+            # The driver rendered this image, so it knows where the flat
+            # band is; split there so tile analysis sees homogeneous
+            # regions, then let the pixel path confirm the structure.
+            regions = [op.rect]
+            flat_rows = int(op.rect.h * op.uniform_fraction)
+            if flat_rows > 0 and flat_rows < op.rect.h:
+                regions = [
+                    Rect(op.rect.x, op.rect.y, op.rect.w, op.rect.h - flat_rows),
+                    Rect(op.rect.x, op.rect.y2 - flat_rows, op.rect.w, flat_rows),
+                ]
+            return self.encode_damage(fb, regions)
+        # Accounting-only: the op metadata records how much of the region
+        # is flat; the encoder would recover that fraction as FILLs.
+        out: List[cmd.DisplayCommand] = []
+        flat_rows = 0
+        if self.config.use_fill and op.uniform_fraction > 0:
+            flat_rows = int(op.rect.h * op.uniform_fraction)
+            if flat_rows > 0:
+                out.append(
+                    cmd.FillCommand(
+                        rect=Rect(op.rect.x, op.rect.y2 - flat_rows, op.rect.w, flat_rows),
+                        color=(238, 238, 238),
+                    )
+                )
+        busy_h = op.rect.h - flat_rows
+        if busy_h > 0:
+            out.append(
+                cmd.SetCommand(rect=Rect(op.rect.x, op.rect.y, op.rect.w, busy_h))
+            )
+        return out
+
+    def _encode_copy(
+        self, op: PaintOp, fb: Optional[FrameBuffer]
+    ) -> List[cmd.DisplayCommand]:
+        assert op.src is not None
+        if self.config.use_copy:
+            return [
+                cmd.CopyCommand(rect=op.rect, src_x=op.src.x, src_y=op.src.y)
+            ]
+        return [self._set_for_rect(op.rect, fb)]
+
+    def _encode_video(
+        self, op: PaintOp, fb: Optional[FrameBuffer]
+    ) -> List[cmd.DisplayCommand]:
+        bpp = op.bits_per_pixel or self.config.cscs_bits_per_pixel
+        if not self.config.use_cscs:
+            return [self._set_for_rect(op.rect, fb)]
+        payload = None
+        if self.materialize:
+            assert fb is not None
+            payload = cscs_codec.encode_frame(fb.read(op.rect), bpp)
+        return [
+            cmd.CscsCommand(
+                rect=op.rect,
+                src_w=op.rect.w,
+                src_h=op.rect.h,
+                bits_per_pixel=bpp,
+                payload=payload,
+            )
+        ]
+
+    def _set_for_rect(
+        self,
+        rect: Rect,
+        fb: Optional[FrameBuffer],
+        flat_color: Optional[Tuple[int, int, int]] = None,
+    ) -> cmd.SetCommand:
+        data = None
+        if self.materialize:
+            if fb is not None:
+                data = fb.read(rect)
+            elif flat_color is not None:
+                data = np.full((rect.h, rect.w, 3), flat_color, dtype=np.uint8)
+            else:
+                raise ProtocolError("materializing SET fallback needs pixels")
+        return cmd.SetCommand(rect=rect, data=data)
+
+    # ------------------------------------------------------------------
+    # Pixel-diff path: rediscover structure by analysing tiles.
+    # ------------------------------------------------------------------
+    def encode_damage(
+        self, framebuffer: FrameBuffer, rects: List[Rect]
+    ) -> List[cmd.DisplayCommand]:
+        """Encode damaged regions from pixels alone (always materialized).
+
+        Each damage rect is tiled; per tile the encoder probes for a
+        uniform color (FILL) then a bicolor pattern (BITMAP) before
+        falling back to SET.  Adjacent same-color FILL tiles within a
+        damage rect row are merged to amortise command startup cost.
+        """
+        out: List[cmd.DisplayCommand] = []
+        for rect in rects:
+            clipped = rect.intersect(framebuffer.bounds)
+            if clipped.empty:
+                continue
+            tiles = tile_rect(clipped, self.config.tile_w, self.config.tile_h)
+            pending_fill: Optional[cmd.FillCommand] = None
+            for tile in tiles:
+                command = self._encode_tile(framebuffer, tile)
+                if isinstance(command, cmd.FillCommand):
+                    merged = self._try_merge_fill(pending_fill, command)
+                    if merged is not None:
+                        pending_fill = merged
+                        continue
+                    if pending_fill is not None:
+                        out.append(pending_fill)
+                    pending_fill = command
+                    continue
+                if pending_fill is not None:
+                    out.append(pending_fill)
+                    pending_fill = None
+                out.append(command)
+            if pending_fill is not None:
+                out.append(pending_fill)
+        return out
+
+    def _encode_tile(self, fb: FrameBuffer, tile: Rect) -> cmd.DisplayCommand:
+        if self.config.use_fill:
+            uniform = fb.is_uniform(tile)
+            if uniform is not None:
+                return cmd.FillCommand(rect=tile, color=uniform)
+        if self.config.use_bitmap:
+            census = fb.color_census(tile, limit=2)
+            if len(census) == 2:
+                bg, fg = census  # arbitrary assignment; both encode the same
+                block = fb.read(tile)
+                bitmap = (block == np.asarray(fg, dtype=np.uint8)).all(axis=2)
+                return cmd.BitmapCommand(rect=tile, fg=fg, bg=bg, bitmap=bitmap)
+        return cmd.SetCommand(rect=tile, data=fb.read(tile))
+
+    @staticmethod
+    def _try_merge_fill(
+        pending: Optional[cmd.FillCommand], new: cmd.FillCommand
+    ) -> Optional[cmd.FillCommand]:
+        """Merge horizontally adjacent same-color fills; None if impossible."""
+        if pending is None or pending.color != new.color:
+            return None
+        a, b = pending.rect, new.rect
+        if a.y == b.y and a.h == b.h and a.x2 == b.x:
+            return cmd.FillCommand(rect=Rect(a.x, a.y, a.w + b.w, a.h), color=new.color)
+        return None
+
+
+def raw_pixel_nbytes(ops) -> int:
+    """Uncompressed size of an op stream: 3 bytes per changed pixel.
+
+    This is the "Raw Pixels" baseline of Figure 8 — every changed pixel
+    shipped as 24-bit literal data, no structure exploited.
+    """
+    return sum(op.pixels_changed * 3 for op in ops)

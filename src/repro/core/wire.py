@@ -1,0 +1,384 @@
+"""Binary wire format for SLIM messages, with MTU fragmentation.
+
+The Sun Ray 1 transmits SLIM commands via UDP/IP (Section 2.2).  Every
+message gets a 12-byte header::
+
+    magic  "SL"   2 bytes
+    version       1 byte
+    opcode        1 byte
+    sequence      4 bytes   (unique identifier; messages are replayable)
+    body length   4 bytes
+
+followed by an opcode-specific body.  Messages larger than the network MTU
+are fragmented into datagrams carrying an 8-byte fragment header; the
+receiving end reassembles by sequence number.  Loss handling is left to
+:mod:`repro.netsim.transport` — the protocol itself is idempotent, so
+recovery is simply replaying the named message ("all SLIM protocol
+messages contain unique identifiers and can be replayed with no ill
+effects").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WireFormatError
+from repro.framebuffer.regions import Rect
+from repro.core import commands as cmd
+from repro.core.commands import Opcode
+
+MAGIC = b"SL"
+VERSION = 1
+HEADER = struct.Struct(">2sBBII")
+HEADER_BYTES = HEADER.size  # 12
+
+_RECT = struct.Struct(">HHHH")
+_COLOR = struct.Struct(">BBB")
+
+#: Classic Ethernet MTU and the IP+UDP header overhead per datagram.
+ETHERNET_MTU = 1500
+IP_UDP_HEADER_BYTES = 28
+FRAGMENT_HEADER = struct.Struct(">IHH")  # message seq, index, count
+FRAGMENT_HEADER_BYTES = FRAGMENT_HEADER.size  # 8
+
+#: Maximum SLIM bytes per datagram once IP/UDP and fragment headers are
+#: accounted for.
+MTU_PAYLOAD = ETHERNET_MTU - IP_UDP_HEADER_BYTES - FRAGMENT_HEADER_BYTES
+
+
+# --- bit packing helpers ----------------------------------------------------
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack an array of small unsigned ints into a dense bitstream.
+
+    Args:
+        values: Integer array; every element must fit in ``bits`` bits.
+        bits: Field width, 1..8.
+    """
+    if not 1 <= bits <= 8:
+        raise WireFormatError(f"bits must be 1..8, got {bits}")
+    flat = np.ascontiguousarray(values, dtype=np.uint8).ravel()
+    if flat.size and int(flat.max()) >= (1 << bits):
+        raise WireFormatError(f"value exceeds {bits}-bit field")
+    expanded = np.unpackbits(flat[:, None], axis=1)[:, 8 - bits :]
+    return np.packbits(expanded.ravel()).tobytes()
+
+
+def unpack_bits(data: bytes, count: int, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns ``count`` uint8 values."""
+    if not 1 <= bits <= 8:
+        raise WireFormatError(f"bits must be 1..8, got {bits}")
+    needed = (count * bits + 7) // 8
+    if len(data) < needed:
+        raise WireFormatError(
+            f"bitstream too short: {len(data)} bytes for {count}x{bits} bits"
+        )
+    raw = np.frombuffer(data[:needed], dtype=np.uint8)
+    stream = np.unpackbits(raw)[: count * bits]
+    fields = stream.reshape(count, bits)
+    weights = (1 << np.arange(bits - 1, -1, -1)).astype(np.uint16)
+    return (fields * weights).sum(axis=1).astype(np.uint8)
+
+
+def _pack_rect(rect: Rect) -> bytes:
+    if not (0 <= rect.x <= 0xFFFF and 0 <= rect.y <= 0xFFFF):
+        raise WireFormatError(f"rect origin out of range: {rect}")
+    if not (rect.w <= 0xFFFF and rect.h <= 0xFFFF):
+        raise WireFormatError(f"rect size out of range: {rect}")
+    return _RECT.pack(rect.x, rect.y, rect.w, rect.h)
+
+
+def _unpack_rect(body: bytes, offset: int) -> Tuple[Rect, int]:
+    x, y, w, h = _RECT.unpack_from(body, offset)
+    return Rect(x, y, w, h), offset + _RECT.size
+
+
+# --- per-command body encoding ----------------------------------------------
+
+
+def encode_body(message: cmd.Command) -> bytes:
+    """Serialise a message body.  Materialises zero payloads if absent.
+
+    Accounting-only display commands (payload ``None``) are encoded with
+    zero-filled pixel data so that wire sizes stay exact either way.
+    """
+    if isinstance(message, cmd.SetCommand):
+        rect = message.rect
+        if message.data is not None:
+            pixels = np.ascontiguousarray(message.data, dtype=np.uint8)
+        else:
+            pixels = np.zeros((rect.h, rect.w, 3), dtype=np.uint8)
+        return _pack_rect(rect) + pixels.tobytes()
+    if isinstance(message, cmd.BitmapCommand):
+        rect = message.rect
+        if message.bitmap is not None:
+            bitmap = message.bitmap.astype(np.uint8)
+        else:
+            bitmap = np.zeros((rect.h, rect.w), dtype=np.uint8)
+        rows = [np.packbits(bitmap[r]).tobytes() for r in range(rect.h)]
+        return (
+            _pack_rect(rect)
+            + _COLOR.pack(*message.fg)
+            + _COLOR.pack(*message.bg)
+            + b"".join(rows)
+        )
+    if isinstance(message, cmd.FillCommand):
+        return _pack_rect(message.rect) + _COLOR.pack(*message.color)
+    if isinstance(message, cmd.CopyCommand):
+        return _pack_rect(message.rect) + struct.pack(
+            ">HH", message.src_x, message.src_y
+        )
+    if isinstance(message, cmd.CscsCommand):
+        payload = message.payload
+        if payload is None:
+            payload = bytes(
+                cmd.cscs_plane_bytes(message.src_w, message.src_h, message.bits_per_pixel)
+            )
+        return (
+            _pack_rect(message.rect)
+            + struct.pack(">HHB", message.src_w, message.src_h, message.bits_per_pixel)
+            + payload
+        )
+    if isinstance(message, cmd.KeyEvent):
+        return struct.pack(">HB", message.code, 1 if message.pressed else 0)
+    if isinstance(message, cmd.MouseEvent):
+        return struct.pack(">HHB", message.x, message.y, message.buttons)
+    if isinstance(message, cmd.AudioData):
+        return bytes(message.nbytes)
+    if isinstance(message, cmd.StatusMessage):
+        return struct.pack(">HI", message.kind, message.value)
+    if isinstance(message, (cmd.BandwidthRequest, cmd.BandwidthGrant)):
+        kbps = int(round(message.bits_per_second / 1000))
+        return struct.pack(">II", message.client_id, kbps)
+    raise WireFormatError(f"cannot encode message type {type(message).__name__}")
+
+
+def decode_body(opcode: Opcode, body: bytes) -> cmd.Command:
+    """Parse a message body back into a command object."""
+    try:
+        if opcode == Opcode.SET:
+            rect, offset = _unpack_rect(body, 0)
+            expected = rect.area * 3
+            pixel_bytes = body[offset:]
+            if len(pixel_bytes) != expected:
+                raise WireFormatError(
+                    f"SET body carries {len(pixel_bytes)} pixel bytes, "
+                    f"expected {expected}"
+                )
+            data = np.frombuffer(pixel_bytes, dtype=np.uint8).reshape(
+                rect.h, rect.w, 3
+            )
+            return cmd.SetCommand(rect=rect, data=data.copy())
+        if opcode == Opcode.BITMAP:
+            rect, offset = _unpack_rect(body, 0)
+            fg = _COLOR.unpack_from(body, offset)
+            bg = _COLOR.unpack_from(body, offset + 3)
+            offset += 6
+            row_bytes = cmd.bitmap_row_bytes(rect.w)
+            rows = []
+            for r in range(rect.h):
+                chunk = body[offset : offset + row_bytes]
+                if len(chunk) != row_bytes:
+                    raise WireFormatError("BITMAP body truncated")
+                bits = np.unpackbits(np.frombuffer(chunk, dtype=np.uint8))
+                rows.append(bits[: rect.w].astype(bool))
+                offset += row_bytes
+            bitmap = np.stack(rows) if rows else np.zeros((0, rect.w), bool)
+            return cmd.BitmapCommand(rect=rect, fg=fg, bg=bg, bitmap=bitmap)
+        if opcode == Opcode.FILL:
+            rect, offset = _unpack_rect(body, 0)
+            color = _COLOR.unpack_from(body, offset)
+            return cmd.FillCommand(rect=rect, color=color)
+        if opcode == Opcode.COPY:
+            rect, offset = _unpack_rect(body, 0)
+            src_x, src_y = struct.unpack_from(">HH", body, offset)
+            return cmd.CopyCommand(rect=rect, src_x=src_x, src_y=src_y)
+        if opcode == Opcode.CSCS:
+            rect, offset = _unpack_rect(body, 0)
+            src_w, src_h, bpp = struct.unpack_from(">HHB", body, offset)
+            offset += 5
+            payload = body[offset:]
+            return cmd.CscsCommand(
+                rect=rect,
+                src_w=src_w,
+                src_h=src_h,
+                bits_per_pixel=bpp,
+                payload=payload,
+            )
+        if opcode == Opcode.KEY_EVENT:
+            code, pressed = struct.unpack(">HB", body)
+            return cmd.KeyEvent(code=code, pressed=bool(pressed))
+        if opcode == Opcode.MOUSE_EVENT:
+            x, y, buttons = struct.unpack(">HHB", body)
+            return cmd.MouseEvent(x=x, y=y, buttons=buttons)
+        if opcode == Opcode.AUDIO_DATA:
+            return cmd.AudioData(nbytes=len(body))
+        if opcode == Opcode.STATUS:
+            kind, value = struct.unpack(">HI", body)
+            return cmd.StatusMessage(kind=kind, value=value)
+        if opcode == Opcode.BANDWIDTH_REQUEST:
+            client_id, kbps = struct.unpack(">II", body)
+            return cmd.BandwidthRequest(client_id=client_id, bits_per_second=kbps * 1000.0)
+        if opcode == Opcode.BANDWIDTH_GRANT:
+            client_id, kbps = struct.unpack(">II", body)
+            return cmd.BandwidthGrant(client_id=client_id, bits_per_second=kbps * 1000.0)
+    except struct.error as exc:
+        raise WireFormatError(f"truncated {opcode.name} body") from exc
+    raise WireFormatError(f"unknown opcode {opcode}")
+
+
+def encode_message(message: cmd.Command, seq: int) -> bytes:
+    """Serialise a full message: header + body."""
+    body = encode_body(message)
+    return HEADER.pack(MAGIC, VERSION, int(message.opcode), seq, len(body)) + body
+
+
+def decode_message(data: bytes) -> Tuple[cmd.Command, int]:
+    """Parse one message; returns (command, sequence number)."""
+    if len(data) < HEADER_BYTES:
+        raise WireFormatError(f"message shorter than header: {len(data)} bytes")
+    magic, version, opcode_raw, seq, length = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireFormatError(f"unsupported version {version}")
+    body = data[HEADER_BYTES:]
+    if len(body) != length:
+        raise WireFormatError(
+            f"header declares {length} body bytes, found {len(body)}"
+        )
+    try:
+        opcode = Opcode(opcode_raw)
+    except ValueError as exc:
+        raise WireFormatError(f"unknown opcode {opcode_raw}") from exc
+    return decode_body(opcode, body), seq
+
+
+def message_wire_nbytes(message: cmd.Command) -> int:
+    """Total wire footprint of a message including all per-datagram overhead.
+
+    This is the figure the bandwidth experiments charge: message header,
+    body, and IP/UDP + fragment headers for each datagram the message
+    fragments into.
+    """
+    total = HEADER_BYTES + message.payload_nbytes()
+    ndatagrams = max(1, -(-total // MTU_PAYLOAD))
+    return total + ndatagrams * (IP_UDP_HEADER_BYTES + FRAGMENT_HEADER_BYTES)
+
+
+# --- datagrams and fragmentation ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram carrying a fragment of a SLIM message."""
+
+    seq: int
+    index: int
+    count: int
+    payload: bytes
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Bytes on the physical link, including IP/UDP + fragment headers."""
+        return len(self.payload) + IP_UDP_HEADER_BYTES + FRAGMENT_HEADER_BYTES
+
+    def to_bytes(self) -> bytes:
+        return FRAGMENT_HEADER.pack(self.seq, self.index, self.count) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Datagram":
+        if len(data) < FRAGMENT_HEADER_BYTES:
+            raise WireFormatError("datagram shorter than fragment header")
+        seq, index, count = FRAGMENT_HEADER.unpack_from(data, 0)
+        if count == 0 or index >= count:
+            raise WireFormatError(f"bad fragment indices {index}/{count}")
+        return cls(seq=seq, index=index, count=count, payload=data[FRAGMENT_HEADER_BYTES:])
+
+
+class WireCodec:
+    """Stateful encoder/decoder: sequencing, fragmentation, reassembly.
+
+    One codec instance lives at each end of a SLIM connection.  The sender
+    side assigns monotonically increasing sequence numbers and fragments;
+    the receiver side reassembles, tolerating duplicate fragments (replay
+    is harmless by design) and discarding incomplete messages on demand.
+    """
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        self._partial: Dict[int, Dict[int, bytes]] = {}
+        self._partial_counts: Dict[int, int] = {}
+
+    # -- sending -------------------------------------------------------------
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq = (self._next_seq + 1) & 0xFFFFFFFF
+        return seq
+
+    def fragment(self, message: cmd.Command, seq: Optional[int] = None) -> List[Datagram]:
+        """Encode a message and split it into MTU-sized datagrams."""
+        if seq is None:
+            seq = self.next_seq()
+        blob = encode_message(message, seq)
+        count = max(1, -(-len(blob) // MTU_PAYLOAD))
+        if count > 0xFFFF:
+            raise WireFormatError(f"message needs {count} fragments (> 65535)")
+        return [
+            Datagram(
+                seq=seq,
+                index=i,
+                count=count,
+                payload=blob[i * MTU_PAYLOAD : (i + 1) * MTU_PAYLOAD],
+            )
+            for i in range(count)
+        ]
+
+    def fragment_all(self, messages: Iterable[cmd.Command]) -> List[Datagram]:
+        """Fragment a sequence of messages in order."""
+        datagrams: List[Datagram] = []
+        for message in messages:
+            datagrams.extend(self.fragment(message))
+        return datagrams
+
+    # -- receiving -----------------------------------------------------------
+    def accept(self, datagram: Datagram) -> Optional[Tuple[cmd.Command, int]]:
+        """Feed one datagram; returns (command, seq) when a message completes.
+
+        Duplicate fragments are ignored.  Fragments of distinct messages may
+        interleave arbitrarily.
+        """
+        if datagram.count == 1:
+            self._partial.pop(datagram.seq, None)
+            self._partial_counts.pop(datagram.seq, None)
+            command, seq = decode_message(datagram.payload)
+            return command, seq
+        fragments = self._partial.setdefault(datagram.seq, {})
+        known_count = self._partial_counts.setdefault(datagram.seq, datagram.count)
+        if known_count != datagram.count:
+            raise WireFormatError(
+                f"fragment count mismatch for seq {datagram.seq}: "
+                f"{known_count} vs {datagram.count}"
+            )
+        fragments[datagram.index] = datagram.payload
+        if len(fragments) < datagram.count:
+            return None
+        blob = b"".join(fragments[i] for i in range(datagram.count))
+        del self._partial[datagram.seq]
+        del self._partial_counts[datagram.seq]
+        command, seq = decode_message(blob)
+        return command, seq
+
+    def pending_messages(self) -> int:
+        """Number of partially reassembled messages (for tests/monitoring)."""
+        return len(self._partial)
+
+    def drop_partial(self, seq: int) -> None:
+        """Discard an incomplete message, e.g. after requesting a replay."""
+        self._partial.pop(seq, None)
+        self._partial_counts.pop(seq, None)

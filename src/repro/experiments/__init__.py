@@ -1,0 +1,23 @@
+"""One module per paper table/figure, plus the multimedia experiments.
+
+Every experiment module exposes a ``run(...)`` returning an
+:class:`~repro.experiments.runner.ExperimentResult`, and registers itself
+with the runner so ``python -m repro.experiments`` regenerates the whole
+evaluation section.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    REGISTRY,
+    register,
+    run_all,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "register",
+    "run_all",
+    "render_table",
+]

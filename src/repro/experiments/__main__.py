@@ -1,0 +1,78 @@
+"""Regenerate the paper's evaluation section from the command line.
+
+Usage::
+
+    python -m repro.experiments              # every table and figure
+    python -m repro.experiments fig9 fig11   # a subset
+    python -m repro.experiments --list       # what's available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+# Importing the modules registers their runners.
+from repro.experiments import (  # noqa: F401
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    multimedia,
+    scalability,
+    table4,
+    table5,
+)
+from repro.experiments.runner import REGISTRY, render_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the SLIM paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="also write the results as a markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in REGISTRY:
+            print(experiment_id)
+        return 0
+
+    selected = args.ids or list(REGISTRY)
+    unknown = [i for i in selected if i not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    results = []
+    for experiment_id in selected:
+        started = time.time()
+        result = REGISTRY[experiment_id]()
+        results.append(result)
+        print(render_table(result))
+        print(f"  ({time.time() - started:.1f}s)")
+        print()
+    if args.markdown:
+        from repro.experiments.report import write_report
+
+        path = write_report(results, args.markdown)
+        print(f"markdown report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

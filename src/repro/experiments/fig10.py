@@ -1,0 +1,70 @@
+"""Figure 10: multiprocessor scaling of the sharing experiment.
+
+Netscape load playback with 1-8 active CPUs and a proportional number of
+active users, reported as added yardstick latency vs *users per
+processor*.  The paper's findings:
+
+* the system scales almost linearly — no visible contention collapse;
+* at the same users-per-CPU figure, configurations with more processors
+  do slightly better, "because a multiprocessor system is better able to
+  find a free CPU when one is required".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ExperimentResult, register
+from repro.experiments import userstudy
+from repro.experiments.fig9 import yardstick_latency
+from repro.workloads.apps import NETSCAPE
+
+DEFAULT_CPU_COUNTS = (1, 2, 4, 8)
+DEFAULT_USERS_PER_CPU = (6, 10, 13)
+
+
+def scaling_surface(
+    cpu_counts: Sequence[int] = DEFAULT_CPU_COUNTS,
+    users_per_cpu: Sequence[int] = DEFAULT_USERS_PER_CPU,
+    sim_seconds: float = 60.0,
+    study_users: int = userstudy.DEFAULT_N_USERS,
+) -> Dict[int, List[Tuple[int, float]]]:
+    """num_cpus -> [(users_per_cpu, added latency s)]."""
+    _traces, profiles = userstudy.get_study(NETSCAPE, n_users=study_users)
+    surface: Dict[int, List[Tuple[int, float]]] = {}
+    for cpus in cpu_counts:
+        curve = []
+        for per_cpu in users_per_cpu:
+            latency = yardstick_latency(
+                profiles,
+                n_users=per_cpu * cpus,
+                num_cpus=cpus,
+                sim_seconds=sim_seconds,
+                memory_mb=4096.0,
+            )
+            curve.append((per_cpu, latency))
+        surface[cpus] = curve
+    return surface
+
+
+def run(sim_seconds: float = 60.0) -> ExperimentResult:
+    surface = scaling_surface(sim_seconds=sim_seconds)
+    rows = []
+    for cpus, curve in surface.items():
+        row = {"CPUs": cpus}
+        for per_cpu, latency in curve:
+            row[f"{per_cpu} users/cpu (ms)"] = round(latency * 1000, 1)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Netscape yardstick latency vs users per CPU (1-8 CPUs)",
+        rows=rows,
+        notes=[
+            "paper: near-linear scaling with no contention effects; more "
+            "CPUs slightly outperform at equal users-per-CPU (easier to "
+            "find a free processor)",
+        ],
+    )
+
+
+register("fig10", run)

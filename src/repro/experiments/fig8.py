@@ -1,0 +1,70 @@
+"""Figure 8: average bandwidth under the X, SLIM, and raw-pixel protocols.
+
+The same display-update streams are run through all three encoders (the
+instrumented driver tracks the baselines per update), and the session
+averages are compared.  Headline observations:
+
+* X and SLIM have similar bandwidth requirements overall;
+* X is slightly better on Frame Maker and PIM — the programs it was
+  optimized for — but their absolute bandwidths are tiny;
+* Photoshop and Netscape (image-display applications) need an order of
+  magnitude more bandwidth, and there SLIM beats X;
+* the raw-pixel protocol is the worst everywhere (by the Figure 4
+  compression factors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult, register
+from repro.experiments import userstudy
+from repro.units import MBPS
+
+
+def bandwidth_table(
+    n_users: int = userstudy.DEFAULT_N_USERS,
+    duration: float = userstudy.DEFAULT_DURATION,
+    seed: int = userstudy.DEFAULT_SEED,
+) -> Dict[str, Dict[str, float]]:
+    """Per-app mean bandwidth (bps) for x / slim / raw protocols."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, (traces, _profiles) in userstudy.all_studies(
+        n_users=n_users, duration=duration, seed=seed
+    ).items():
+        out[name] = {
+            "x": float(np.mean([t.mean_x_bandwidth_bps() for t in traces])),
+            "slim": float(np.mean([t.mean_bandwidth_bps() for t in traces])),
+            "raw": float(np.mean([t.mean_raw_bandwidth_bps() for t in traces])),
+        }
+    return out
+
+
+def run(n_users: Optional[int] = None) -> ExperimentResult:
+    table = bandwidth_table(n_users=n_users or userstudy.DEFAULT_N_USERS)
+    rows = []
+    for name, bw in table.items():
+        rows.append(
+            {
+                "application": name,
+                "X (Mbps)": round(bw["x"] / MBPS, 3),
+                "SLIM (Mbps)": round(bw["slim"] / MBPS, 3),
+                "raw pixels (Mbps)": round(bw["raw"] / MBPS, 3),
+                "X/SLIM": round(bw["x"] / bw["slim"], 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Average bandwidth: X vs SLIM vs raw pixels",
+        rows=rows,
+        notes=[
+            "paper: X and SLIM competitive; X slightly ahead on FrameMaker"
+            "/PIM (tiny absolute numbers); SLIM clearly ahead on Photoshop/"
+            "Netscape, which need an order of magnitude more bandwidth",
+        ],
+    )
+
+
+register("fig8", run)

@@ -1,0 +1,93 @@
+"""Experiment registry and plain-text rendering.
+
+Each experiment module produces an :class:`ExperimentResult`: an
+identifier matching the paper (``table4``, ``fig9``, ...), a set of rows
+(dictionaries sharing a column set), and free-form notes recording the
+paper-vs-measured comparison.  ``python -m repro.experiments`` runs the
+registered set and prints each as a text table — the reproduction of the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def row_values(self, key: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows if key in row]
+
+
+#: Registered experiments: id -> zero-argument runner returning a result.
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str, runner: Callable[[], ExperimentResult]) -> None:
+    """Register an experiment's default-configuration runner."""
+    if experiment_id in REGISTRY:
+        raise ReproError(f"experiment {experiment_id!r} already registered")
+    REGISTRY[experiment_id] = runner
+
+
+def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentResult]:
+    """Run registered experiments (all, or the named subset) in order."""
+    selected = list(REGISTRY) if ids is None else list(ids)
+    results = []
+    for experiment_id in selected:
+        if experiment_id not in REGISTRY:
+            raise ReproError(f"unknown experiment {experiment_id!r}")
+        results.append(REGISTRY[experiment_id]())
+    return results
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render a result as a fixed-width text table."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    columns = result.column_names()
+    if columns:
+        cells = [
+            [_format_cell(row.get(col, "")) for col in columns]
+            for row in result.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row_cells in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Shared user-study results for the Section 5 experiments.
+
+The paper ran its user studies once and post-processed the logs for every
+figure; we do the same — the study is simulated once per configuration
+and memoised, and Figures 2, 3, 4, 5, 7, 8 (plus the load profiles for
+Figures 9-11) all read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.traces import SessionTrace
+from repro.workloads.apps import BENCHMARK_APPS, AppProfile
+from repro.workloads.session import ResourceProfile, run_user_study
+
+#: Default study size.  The paper used 50 users x >=10 minutes; the
+#: default here is sized so the full experiment suite runs in minutes —
+#: pass n_users=50 for the full-fidelity version.
+DEFAULT_N_USERS = 12
+DEFAULT_DURATION = 600.0
+DEFAULT_SEED = 1999
+
+
+@dataclass(frozen=True)
+class StudyKey:
+    n_users: int
+    duration: float
+    seed: int
+
+
+_cache: Dict[Tuple[StudyKey, str], Tuple[List[SessionTrace], List[ResourceProfile]]] = {}
+
+
+def get_study(
+    app: AppProfile,
+    n_users: int = DEFAULT_N_USERS,
+    duration: float = DEFAULT_DURATION,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[List[SessionTrace], List[ResourceProfile]]:
+    """Traces and resource profiles for one app's study (memoised)."""
+    key = (StudyKey(n_users, duration, seed), app.name)
+    if key not in _cache:
+        _cache[key] = run_user_study(app, n_users=n_users, duration=duration, seed=seed)
+    return _cache[key]
+
+
+def all_studies(
+    n_users: int = DEFAULT_N_USERS,
+    duration: float = DEFAULT_DURATION,
+    seed: int = DEFAULT_SEED,
+) -> Dict[str, Tuple[List[SessionTrace], List[ResourceProfile]]]:
+    """Studies for every Table 2 GUI application."""
+    return {
+        name: get_study(app, n_users=n_users, duration=duration, seed=seed)
+        for name, app in BENCHMARK_APPS.items()
+    }
+
+
+def clear_cache() -> None:
+    """Drop memoised studies (tests use this to control memory)."""
+    _cache.clear()

@@ -1,0 +1,246 @@
+"""A numpy-backed RGB framebuffer with damage tracking.
+
+Both ends of a SLIM connection own one of these: the server maintains the
+persistent, authoritative copy ("the full, persistent contents of the frame
+buffer are maintained at the server" — Section 2.2) and the console holds a
+soft-state copy refreshed from the wire.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.framebuffer.regions import Rect
+
+
+class FrameBuffer:
+    """A W x H, 24-bit RGB framebuffer.
+
+    Pixels are stored as a ``(height, width, 3)`` uint8 array.  All mutating
+    operations validate and clip geometry, and record the affected rectangle
+    in a damage list that callers (the SLIM virtual driver, tests) may drain.
+
+    Args:
+        width: Horizontal resolution in pixels.
+        height: Vertical resolution in pixels.
+        fill: Initial pixel value for all three channels.
+    """
+
+    def __init__(self, width: int, height: int, fill: int = 0) -> None:
+        if width <= 0 or height <= 0:
+            raise GeometryError(f"framebuffer size must be positive: {width}x{height}")
+        self.width = width
+        self.height = height
+        self.pixels = np.full((height, width, 3), fill, dtype=np.uint8)
+        self._damage: List[Rect] = []
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def bounds(self) -> Rect:
+        """The full-display rectangle."""
+        return Rect(0, 0, self.width, self.height)
+
+    def _clip(self, rect: Rect) -> Rect:
+        return rect.intersect(self.bounds)
+
+    def _require_inside(self, rect: Rect, what: str) -> None:
+        if not self.bounds.contains_rect(rect):
+            raise GeometryError(f"{what} {rect} outside framebuffer {self.bounds}")
+
+    # -- damage tracking ----------------------------------------------------
+    def _record_damage(self, rect: Rect) -> None:
+        if not rect.empty:
+            self._damage.append(rect)
+
+    def drain_damage(self) -> List[Rect]:
+        """Return and clear the list of rectangles modified since last drain."""
+        damage, self._damage = self._damage, []
+        return damage
+
+    def peek_damage(self) -> Tuple[Rect, ...]:
+        """Return the pending damage without clearing it."""
+        return tuple(self._damage)
+
+    # -- reading -----------------------------------------------------------
+    def read(self, rect: Rect) -> np.ndarray:
+        """Return a copy of the pixels in ``rect`` (shape (h, w, 3))."""
+        self._require_inside(rect, "read rect")
+        rows, cols = rect.slices()
+        return self.pixels[rows, cols].copy()
+
+    def pixel(self, x: int, y: int) -> Tuple[int, int, int]:
+        """Return the (r, g, b) value at one coordinate."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise GeometryError(f"pixel ({x},{y}) outside {self.bounds}")
+        r, g, b = self.pixels[y, x]
+        return int(r), int(g), int(b)
+
+    # -- mutation ----------------------------------------------------------
+    def fill(self, rect: Rect, color: Tuple[int, int, int]) -> Rect:
+        """Fill a rectangle with a single color; returns the clipped rect."""
+        clipped = self._clip(rect)
+        if clipped.empty:
+            return clipped
+        rows, cols = clipped.slices()
+        self.pixels[rows, cols] = np.asarray(color, dtype=np.uint8)
+        self._record_damage(clipped)
+        return clipped
+
+    def blit(self, rect: Rect, data: np.ndarray) -> Rect:
+        """Write an (h, w, 3) pixel block at ``rect``.
+
+        ``data`` must exactly match the rectangle's size; the rectangle is
+        clipped to the display and the corresponding subarray written.
+        """
+        if data.shape != (rect.h, rect.w, 3):
+            raise GeometryError(
+                f"blit data shape {data.shape} does not match rect {rect}"
+            )
+        clipped = self._clip(rect)
+        if clipped.empty:
+            return clipped
+        src = data[
+            clipped.y - rect.y : clipped.y2 - rect.y,
+            clipped.x - rect.x : clipped.x2 - rect.x,
+        ]
+        rows, cols = clipped.slices()
+        self.pixels[rows, cols] = src
+        self._record_damage(clipped)
+        return clipped
+
+    def copy_within(self, src: Rect, dst_x: int, dst_y: int) -> Rect:
+        """Copy ``src`` to ``(dst_x, dst_y)``, handling overlap correctly.
+
+        This is the semantics of the SLIM COPY command (Table 1): a region
+        of the framebuffer is copied to another location, e.g. scrolling.
+        Source and destination must both lie inside the framebuffer.
+        """
+        self._require_inside(src, "copy source")
+        dst = Rect(dst_x, dst_y, src.w, src.h)
+        self._require_inside(dst, "copy destination")
+        if src.empty:
+            return dst
+        src_rows, src_cols = src.slices()
+        dst_rows, dst_cols = dst.slices()
+        # numpy handles overlapping fancy assignment incorrectly only when
+        # views alias; copying the source first is always safe.
+        block = self.pixels[src_rows, src_cols].copy()
+        self.pixels[dst_rows, dst_cols] = block
+        self._record_damage(dst)
+        return dst
+
+    def expand_bitmap(
+        self,
+        rect: Rect,
+        bitmap: np.ndarray,
+        fg: Tuple[int, int, int],
+        bg: Tuple[int, int, int],
+    ) -> Rect:
+        """Expand a 1-bit-per-pixel bitmap into fg/bg colors (SLIM BITMAP).
+
+        Args:
+            rect: Destination rectangle.
+            bitmap: Boolean array of shape (h, w); True selects ``fg``.
+            fg: Foreground color where the bitmap holds 1s.
+            bg: Background color where the bitmap holds 0s.
+        """
+        if bitmap.shape != (rect.h, rect.w):
+            raise GeometryError(
+                f"bitmap shape {bitmap.shape} does not match rect {rect}"
+            )
+        clipped = self._clip(rect)
+        if clipped.empty:
+            return clipped
+        mask = bitmap[
+            clipped.y - rect.y : clipped.y2 - rect.y,
+            clipped.x - rect.x : clipped.x2 - rect.x,
+        ].astype(bool)
+        block = np.where(
+            mask[:, :, None],
+            np.asarray(fg, dtype=np.uint8),
+            np.asarray(bg, dtype=np.uint8),
+        )
+        rows, cols = clipped.slices()
+        self.pixels[rows, cols] = block
+        self._record_damage(clipped)
+        return clipped
+
+    # -- analysis helpers ---------------------------------------------------
+    def is_uniform(self, rect: Rect) -> Optional[Tuple[int, int, int]]:
+        """Return the single color of ``rect`` if uniform, else None."""
+        self._require_inside(rect, "uniformity rect")
+        if rect.empty:
+            return None
+        rows, cols = rect.slices()
+        block = self.pixels[rows, cols]
+        first = block[0, 0]
+        if (block == first).all():
+            return int(first[0]), int(first[1]), int(first[2])
+        return None
+
+    def color_census(self, rect: Rect, limit: int = 3) -> List[Tuple[int, int, int]]:
+        """Return up to ``limit`` distinct colors in ``rect``.
+
+        Stops early once more than ``limit`` distinct colors are seen, so
+        the encoder's bicolor probe stays cheap on photographic content.
+        """
+        self._require_inside(rect, "census rect")
+        rows, cols = rect.slices()
+        block = self.pixels[rows, cols].reshape(-1, 3)
+        # Pack to a single integer per pixel for fast uniqueness testing.
+        packed = (
+            block[:, 0].astype(np.uint32) << 16
+            | block[:, 1].astype(np.uint32) << 8
+            | block[:, 2].astype(np.uint32)
+        )
+        seen: List[int] = []
+        # Sample-first strategy: check a prefix, bail out as soon as the
+        # census exceeds the limit.
+        for value in np.unique(packed):
+            seen.append(int(value))
+            if len(seen) > limit:
+                break
+        return [((v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF) for v in seen]
+
+    def equals(self, other: "FrameBuffer") -> bool:
+        """True when the two framebuffers hold identical pixels."""
+        return (
+            self.width == other.width
+            and self.height == other.height
+            and bool((self.pixels == other.pixels).all())
+        )
+
+    def diff_rects(self, other: "FrameBuffer", band_height: int = 16) -> List[Rect]:
+        """Rectangles (horizontal bands) where this buffer differs from other.
+
+        Used by the VNC-style client-pull comparator: the server computes
+        the delta between the last-sent framebuffer and the current one.
+        """
+        if (self.width, self.height) != (other.width, other.height):
+            raise GeometryError("framebuffer sizes differ")
+        changed_rows = np.flatnonzero(
+            (self.pixels != other.pixels).any(axis=(1, 2))
+        )
+        rects: List[Rect] = []
+        if changed_rows.size == 0:
+            return rects
+        start = int(changed_rows[0])
+        prev = start
+        for row in changed_rows[1:]:
+            row = int(row)
+            if row == prev + 1 and row - start + 1 <= band_height:
+                prev = row
+                continue
+            rects.append(Rect(0, start, self.width, prev - start + 1))
+            start = prev = row
+        rects.append(Rect(0, start, self.width, prev - start + 1))
+        return rects
+
+    def snapshot(self) -> "FrameBuffer":
+        """Return a deep copy (damage list not carried over)."""
+        clone = FrameBuffer(self.width, self.height)
+        clone.pixels = self.pixels.copy()
+        return clone

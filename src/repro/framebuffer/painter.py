@@ -1,0 +1,195 @@
+"""High-level paint operations and a painter that realises them as pixels.
+
+The paper's port path is "simply changing the device drivers in rendering
+libraries" (Section 2.2): applications issue high-level rendering calls,
+and the device driver translates them into SLIM commands.  ``PaintOp`` is
+our rendering-call abstraction — the stream a workload (Netscape model,
+Photoshop model, ...) hands to a display driver.  Three drivers consume the
+same stream:
+
+* :class:`repro.server.slimdriver.SlimDriver` encodes it as SLIM commands,
+* :class:`repro.xproto.baseline.XDriver` encodes it as X11 requests,
+* :class:`repro.xproto.baseline.RawPixelDriver` ships raw changed pixels,
+
+which is exactly the three-way comparison of Figure 8.
+
+The :class:`Painter` also *materialises* ops into a real framebuffer so
+that fidelity tests can assert server and console pixels match after a
+round trip through the wire format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.framebuffer.framebuffer import FrameBuffer
+from repro.framebuffer.regions import Rect
+
+
+class PaintKind(enum.Enum):
+    """The rendering-call vocabulary shared by all display drivers."""
+
+    FILL = "fill"      # solid rectangle
+    TEXT = "text"      # bicolor glyph region (fg/bg)
+    IMAGE = "image"    # full-color pixel data (photos, anti-aliased art)
+    COPY = "copy"      # move a region (scrolling, window drag)
+    VIDEO = "video"    # YUV frame data destined for CSCS
+
+
+@dataclass(frozen=True)
+class PaintOp:
+    """One high-level rendering call.
+
+    Attributes:
+        kind: Which rendering primitive this is.
+        rect: Destination rectangle (for COPY, the *destination*).
+        color: Fill color (FILL only).
+        fg: Foreground color (TEXT only).
+        bg: Background color (TEXT only).
+        src: Source rectangle (COPY only); same size as ``rect``.
+        seed: Deterministic content seed for TEXT/IMAGE/VIDEO synthesis.
+        glyph_density: Fraction of TEXT pixels that are foreground ink.
+        char_count: Approximate number of characters in a TEXT op; used by
+            the X driver (PolyText8 is priced per character) and by the
+            glyph synthesiser.
+        bits_per_pixel: CSCS depth for VIDEO ops.
+        uniform_fraction: Fraction of an IMAGE op's area that is actually
+            flat background (page margins around a photo, etc.); the SLIM
+            encoder can recover FILLs from it.
+    """
+
+    kind: PaintKind
+    rect: Rect
+    color: Tuple[int, int, int] = (0, 0, 0)
+    fg: Tuple[int, int, int] = (0, 0, 0)
+    bg: Tuple[int, int, int] = (255, 255, 255)
+    src: Optional[Rect] = None
+    seed: int = 0
+    glyph_density: float = 0.12
+    char_count: int = 0
+    bits_per_pixel: int = 16
+    uniform_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rect.empty:
+            raise GeometryError(f"paint op on empty rect {self.rect}")
+        if self.kind is PaintKind.COPY:
+            if self.src is None:
+                raise GeometryError("COPY op requires a source rect")
+            if (self.src.w, self.src.h) != (self.rect.w, self.rect.h):
+                raise GeometryError(
+                    f"COPY source {self.src} and destination {self.rect} "
+                    "sizes differ"
+                )
+        if not 0.0 <= self.glyph_density <= 1.0:
+            raise GeometryError("glyph_density must be within [0, 1]")
+        if not 0.0 <= self.uniform_fraction <= 1.0:
+            raise GeometryError("uniform_fraction must be within [0, 1]")
+
+    @property
+    def pixels_changed(self) -> int:
+        """Pixels this op touches (the paper's Figure 3 metric)."""
+        return self.rect.area
+
+
+def synth_glyph_bitmap(rect: Rect, seed: int, density: float) -> np.ndarray:
+    """Deterministic pseudo-text bitmap: short horizontal ink runs.
+
+    Real text is not iid noise — ink comes in strokes — so we synthesise
+    rows of short runs.  The result is a boolean (h, w) array whose True
+    fraction approximates ``density``.
+    """
+    rng = np.random.default_rng(seed)
+    bitmap = np.zeros((rect.h, rect.w), dtype=bool)
+    if density <= 0:
+        return bitmap
+    # Each glyph cell is ~7x13; ink strokes are 1-2px wide runs.
+    run_len = 3
+    per_row_runs = max(1, int(rect.w * density / run_len))
+    for row in range(rect.h):
+        # Leading between text lines: every 13th-ish row band has less ink.
+        if row % 13 >= 10:
+            continue
+        starts = rng.integers(0, max(1, rect.w - run_len), size=per_row_runs)
+        for start in starts:
+            bitmap[row, start : start + run_len] = True
+    return bitmap
+
+
+def synth_image(rect: Rect, seed: int, uniform_fraction: float = 0.0) -> np.ndarray:
+    """Deterministic photographic-ish content: smooth low-frequency noise.
+
+    A band at the bottom of the rectangle (sized by ``uniform_fraction``)
+    is flat background, letting the SLIM encoder exercise its FILL
+    recovery on image-bearing updates.
+    """
+    rng = np.random.default_rng(seed)
+    # Low-resolution noise upsampled -> smooth gradients like a photo.
+    small_h = max(1, rect.h // 8)
+    small_w = max(1, rect.w // 8)
+    base = rng.integers(0, 256, size=(small_h, small_w, 3), dtype=np.uint8)
+    reps_y = -(-rect.h // small_h)
+    reps_x = -(-rect.w // small_w)
+    image = np.repeat(np.repeat(base, reps_y, axis=0), reps_x, axis=1)
+    image = image[: rect.h, : rect.w].astype(np.int16)
+    # Dither so adjacent pixels differ (defeats naive run-length collapse).
+    image += rng.integers(-6, 7, size=image.shape, dtype=np.int16)
+    image = np.clip(image, 0, 255).astype(np.uint8)
+    if uniform_fraction > 0:
+        flat_rows = int(rect.h * uniform_fraction)
+        if flat_rows > 0:
+            image[rect.h - flat_rows :, :, :] = (238, 238, 238)
+    return image
+
+
+def synth_video_frame(rect: Rect, seed: int) -> np.ndarray:
+    """A deterministic full-color frame for VIDEO ops (RGB uint8)."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0 : rect.h, 0 : rect.w]
+    phase = float(rng.uniform(0, 2 * np.pi))
+    r = 127 + 120 * np.sin(xx / 37.0 + phase)
+    g = 127 + 120 * np.sin(yy / 29.0 + phase * 0.7)
+    b = 127 + 120 * np.sin((xx + yy) / 53.0 + phase * 1.3)
+    frame = np.stack([r, g, b], axis=-1)
+    noise = rng.normal(0, 4, size=frame.shape)
+    return np.clip(frame + noise, 0, 255).astype(np.uint8)
+
+
+class Painter:
+    """Applies :class:`PaintOp` streams to a framebuffer.
+
+    The painter is the "application rendering" half of the system; the
+    display drivers observe the op stream (and, when materialising, the
+    resulting pixels) to produce protocol traffic.
+    """
+
+    def __init__(self, framebuffer: FrameBuffer) -> None:
+        self.framebuffer = framebuffer
+
+    def apply(self, op: PaintOp) -> Rect:
+        """Render one op into the framebuffer; returns the damaged rect."""
+        fb = self.framebuffer
+        if op.kind is PaintKind.FILL:
+            return fb.fill(op.rect, op.color)
+        if op.kind is PaintKind.TEXT:
+            bitmap = synth_glyph_bitmap(op.rect, op.seed, op.glyph_density)
+            return fb.expand_bitmap(op.rect, bitmap, op.fg, op.bg)
+        if op.kind is PaintKind.IMAGE:
+            data = synth_image(op.rect, op.seed, op.uniform_fraction)
+            return fb.blit(op.rect, data)
+        if op.kind is PaintKind.COPY:
+            assert op.src is not None  # validated in __post_init__
+            return fb.copy_within(op.src, op.rect.x, op.rect.y)
+        if op.kind is PaintKind.VIDEO:
+            frame = synth_video_frame(op.rect, op.seed)
+            return fb.blit(op.rect, frame)
+        raise GeometryError(f"unknown paint kind {op.kind!r}")
+
+    def apply_all(self, ops) -> list:
+        """Render a sequence of ops; returns the list of damaged rects."""
+        return [self.apply(op) for op in ops]

@@ -1,0 +1,28 @@
+"""Trace-playback load generation and yardstick applications (Section 6).
+
+The paper gauges interactive performance under shared load indirectly:
+load generators replay recorded per-user resource profiles (CPU, memory,
+network) while a *yardstick* application with fixed, well-known demands
+measures the latency the sharing adds.  The CPU yardstick and CPU
+playback live in :mod:`repro.server.scheduler`; this package adds the
+network dimension (Figure 11) and the experiment-facing wrappers.
+"""
+
+from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern
+from repro.loadgen.yardstick import (
+    CPU_YARDSTICK_BURST,
+    CPU_YARDSTICK_THINK,
+    NetworkYardstick,
+    NET_YARDSTICK_REQUEST_NBYTES,
+    NET_YARDSTICK_RESPONSE_NBYTES,
+)
+
+__all__ = [
+    "NetworkLoadGenerator",
+    "TrafficPattern",
+    "NetworkYardstick",
+    "CPU_YARDSTICK_BURST",
+    "CPU_YARDSTICK_THINK",
+    "NET_YARDSTICK_REQUEST_NBYTES",
+    "NET_YARDSTICK_RESPONSE_NBYTES",
+]

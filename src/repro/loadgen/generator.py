@@ -1,0 +1,137 @@
+"""Network-dimension load playback (the Figure 11 background traffic).
+
+The generator replays the network portion of recorded resource profiles:
+for each profile interval it emits the recorded byte volume as a burst
+pattern of MTU-sized datagrams from the server toward a sink console.
+Display traffic is bursty — bytes cluster into display updates — so the
+generator reproduces that second-order structure instead of smoothing
+bytes into a constant rate (smooth traffic would never queue, and the
+experiment's whole point is queueing at the shared server link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.transport import Network
+from repro.workloads.session import ResourceProfile
+
+#: Bytes per full datagram on the wire (payload + IP/UDP headers).
+FULL_DATAGRAM_NBYTES = 1500
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """Shape of within-interval traffic bursts.
+
+    Attributes:
+        updates_per_second: Mean display-update bursts per second while
+            the user is active.
+        active_fraction: Fraction of each interval that carries traffic
+            (users don't paint continuously).
+    """
+
+    updates_per_second: float = 1.2
+    active_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.updates_per_second <= 0:
+            raise WorkloadError("updates_per_second must be positive")
+        if not 0 < self.active_fraction <= 1:
+            raise WorkloadError("active_fraction must be in (0, 1]")
+
+
+class NetworkLoadGenerator:
+    """Replays one user's network profile onto the fabric.
+
+    Args:
+        sim: Event engine.
+        network: The fabric to inject into.
+        src: Source endpoint address (the server).
+        dst: Sink endpoint address (a console absorbing the traffic).
+        profile: The recorded resource profile to play back.
+        pattern: Burst structure parameters.
+        rng: Jitter source (burst times within the interval).
+        flow: Flow label on emitted packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        src: str,
+        dst: str,
+        profile: ResourceProfile,
+        pattern: TrafficPattern = TrafficPattern(),
+        rng: Optional[np.random.Generator] = None,
+        flow: str = "background",
+        scale: float = 1.0,
+    ) -> None:
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        self.sim = sim
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.profile = profile
+        self.pattern = pattern
+        self.rng = rng or np.random.default_rng(0)
+        self.flow = flow
+        self.scale = scale
+        self.bytes_emitted = 0
+        self.packets_emitted = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the whole playback (loops over the profile)."""
+        if self._started:
+            raise WorkloadError("generator already started")
+        self._started = True
+        self._schedule_interval(0)
+
+    def _schedule_interval(self, index: int) -> None:
+        interval = self.profile.interval
+        nbytes = self.profile.net_bytes[index % len(self.profile.net_bytes)]
+        nbytes = int(round(nbytes * self.scale))
+        start = self.sim.now
+        if nbytes > 0:
+            self._emit_bursts(start, interval, int(nbytes))
+        self.sim.schedule_at(start + interval, lambda: self._schedule_interval(index + 1))
+
+    def _emit_bursts(self, start: float, interval: float, nbytes: int) -> None:
+        """Split an interval's bytes into randomly timed update bursts."""
+        mean_updates = self.pattern.updates_per_second * interval
+        n_bursts = max(1, int(self.rng.poisson(mean_updates)))
+        # Lognormal burst weights: most updates small, a few dominate.
+        weights = self.rng.lognormal(0.0, 1.2, size=n_bursts)
+        weights /= weights.sum()
+        window = interval * self.pattern.active_fraction
+        times = np.sort(self.rng.uniform(0.0, window, size=n_bursts))
+        for t, w in zip(times, weights):
+            burst_bytes = int(round(nbytes * float(w)))
+            if burst_bytes <= 0:
+                continue
+            self.sim.schedule_at(start + float(t), self._burst_sender(burst_bytes))
+
+    def _burst_sender(self, burst_bytes: int):
+        def send() -> None:
+            remaining = burst_bytes
+            while remaining > 0:
+                size = min(FULL_DATAGRAM_NBYTES, remaining)
+                # Runt datagrams still pay their headers.
+                size = max(size, 64)
+                packet = Packet(
+                    src=self.src, dst=self.dst, nbytes=size, flow=self.flow
+                )
+                self.network.send(packet)
+                self.bytes_emitted += size
+                self.packets_emitted += 1
+                remaining -= size
+
+        return send

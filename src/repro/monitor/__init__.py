@@ -1,0 +1,17 @@
+"""Resource monitoring of simulated production installations (Section 6.3)."""
+
+from repro.monitor.casestudy import (
+    SiteModel,
+    DayProfile,
+    UNIVERSITY_LAB,
+    ENGINEERING_GROUP,
+    simulate_day,
+)
+
+__all__ = [
+    "SiteModel",
+    "DayProfile",
+    "UNIVERSITY_LAB",
+    "ENGINEERING_GROUP",
+    "simulate_day",
+]

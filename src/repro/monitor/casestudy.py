@@ -1,0 +1,190 @@
+"""Day-long load profiles of real-world installations (Figure 12).
+
+The paper monitored two production Sun Ray 1 sites with standard tools
+(ps, netstat, vmstat), sampling every 10 seconds and reporting per-five-
+minute maxima of aggregate CPU load, network bandwidth, and user counts:
+
+* a **university lab** — 50 terminals on a 2-CPU E250; students running
+  MatLab, StarOffice, Netscape, compilers.  Both processors saturate at
+  peak; network stays under 5 Mbps.
+* an **engineering group** — 100+ terminals across two buildings on an
+  8-CPU E4500; CAD, editors, compilers, office tools.  Sessions stay
+  logged in all day (card mobility), active users are a small fraction
+  of total, CPUs never saturate, network under 5 Mbps.
+
+We reproduce the sites with a diurnal presence/activity model: users
+arrive along a daily intensity curve, a time-varying fraction are
+actively computing, and each active user contributes a bursty CPU and
+bandwidth demand drawn from the workload models' per-application means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.server.host import MachineSpec, E250, E4500
+from repro.units import MBPS
+
+#: Monitoring cadence (the paper's snapshots) and reporting window.
+SAMPLE_INTERVAL = 10.0
+REPORT_WINDOW = 300.0
+
+
+def _double_hump(hour: float, morning: float, evening: float) -> float:
+    """A student-day intensity curve: light mornings, busy afternoons."""
+    m = np.exp(-((hour - morning) ** 2) / (2 * 2.2**2))
+    e = np.exp(-((hour - evening) ** 2) / (2 * 2.8**2))
+    return float(np.clip(0.55 * m + 1.0 * e, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class SiteModel:
+    """Parameters of one monitored installation.
+
+    Attributes:
+        name: Site label.
+        machine: The server (Section 6.3 gives both configurations).
+        n_terminals: Terminals attached.
+        presence: hour-of-day -> fraction of terminals with a user session
+            present (logged in).
+        activity: hour-of-day -> fraction of present users actively
+            computing.
+        cpu_per_active: Mean reference-CPU demand of one active user
+            (the lab runs compilers/MatLab, so it is much higher than the
+            GUI means).
+        net_bps_per_active: Mean display bandwidth of one active user.
+        burstiness_sigma: Lognormal sigma of per-sample demand noise.
+    """
+
+    name: str
+    machine: MachineSpec
+    n_terminals: int
+    presence: Callable[[float], float]
+    activity: Callable[[float], float]
+    cpu_per_active: float
+    net_bps_per_active: float
+    burstiness_sigma: float = 0.55
+
+    def __post_init__(self) -> None:
+        if self.n_terminals <= 0:
+            raise WorkloadError("site needs at least one terminal")
+
+
+UNIVERSITY_LAB = SiteModel(
+    name="university-lab",
+    machine=E250,
+    n_terminals=50,
+    # Students drift in late morning, peak late afternoon/evening.
+    presence=lambda h: 0.02 + 0.88 * _double_hump(h, 11.5, 16.5),
+    activity=lambda h: 0.55,
+    cpu_per_active=0.28,  # compilers/MatLab: heavy per-user demand
+    net_bps_per_active=0.06 * MBPS,
+    burstiness_sigma=0.6,
+)
+
+ENGINEERING_GROUP = SiteModel(
+    name="engineering-group",
+    machine=E4500,
+    n_terminals=110,
+    # Staff log in for the day and stay (card mobility): high presence
+    # through work hours, sessions linger into the evening.
+    presence=lambda h: 0.10 + 0.80 * float(np.clip(
+        (1 / (1 + np.exp(-(h - 8.5) * 1.6))) * (1 / (1 + np.exp((h - 18.5) * 0.8))),
+        0.0, 1.0,
+    )),
+    activity=lambda h: 0.30,
+    cpu_per_active=0.10,  # CAD/compiles mixed with office tools
+    net_bps_per_active=0.05 * MBPS,
+    burstiness_sigma=0.5,
+)
+
+
+@dataclass
+class DayProfile:
+    """One day's monitoring output, reported as per-window maxima.
+
+    All sequences share the same timebase: one entry per five-minute
+    reporting window across 24 hours.
+    """
+
+    site: str
+    window: float
+    times_hours: List[float]
+    total_users: List[int]
+    active_users: List[int]
+    cpu_utilization: List[float]  # aggregate, 0..1 of all CPUs
+    net_mbps: List[float]
+
+    def peak_cpu(self) -> float:
+        return max(self.cpu_utilization)
+
+    def peak_net_mbps(self) -> float:
+        return max(self.net_mbps)
+
+    def peak_active_users(self) -> int:
+        return max(self.active_users)
+
+    def peak_total_users(self) -> int:
+        return max(self.total_users)
+
+
+def simulate_day(site: SiteModel, seed: int = 0) -> DayProfile:
+    """Monitor one simulated day at a site (10 s samples, 5 min maxima)."""
+    rng = np.random.default_rng(seed)
+    n_samples = int(24 * 3600 / SAMPLE_INTERVAL)
+    samples_per_window = int(REPORT_WINDOW / SAMPLE_INTERVAL)
+
+    # Presence evolves smoothly: an AR(1) tracker of the target curve so
+    # user counts don't teleport between samples.
+    total = np.zeros(n_samples)
+    active = np.zeros(n_samples)
+    cpu = np.zeros(n_samples)
+    net = np.zeros(n_samples)
+    current_total = 0.0
+    for i in range(n_samples):
+        hour = i * SAMPLE_INTERVAL / 3600.0
+        target = site.presence(hour) * site.n_terminals
+        current_total += 0.02 * (target - current_total) + float(
+            rng.normal(0, 0.1)
+        )
+        current_total = float(np.clip(current_total, 0.0, site.n_terminals))
+        total[i] = current_total
+        frac_active = site.activity(hour)
+        n_active = rng.binomial(int(round(current_total)), min(1.0, frac_active))
+        active[i] = n_active
+        if n_active > 0:
+            # Independent per-user bursts partially cancel: the aggregate
+            # demand fluctuates with relative sigma ~ sigma / sqrt(n).
+            sigma = site.burstiness_sigma / np.sqrt(n_active)
+            burst = max(0.2, float(rng.lognormal(0.0, sigma)))
+            demand_ref_cpus = n_active * site.cpu_per_active * burst
+            capacity = site.machine.num_cpus * site.machine.speed_factor
+            cpu[i] = min(1.0, demand_ref_cpus / capacity)
+            net_burst = max(0.2, float(rng.lognormal(0.0, sigma * 1.5)))
+            net[i] = n_active * site.net_bps_per_active * net_burst / MBPS
+
+    # Per-window maxima, like the paper's plots.
+    def window_max(series: np.ndarray) -> List[float]:
+        trimmed = series[: (n_samples // samples_per_window) * samples_per_window]
+        return [
+            float(chunk.max())
+            for chunk in trimmed.reshape(-1, samples_per_window)
+        ]
+
+    times = [
+        (w + 1) * REPORT_WINDOW / 3600.0
+        for w in range(n_samples // samples_per_window)
+    ]
+    return DayProfile(
+        site=site.name,
+        window=REPORT_WINDOW,
+        times_hours=times,
+        total_users=[int(v) for v in window_max(total)],
+        active_users=[int(v) for v in window_max(active)],
+        cpu_utilization=window_max(cpu),
+        net_mbps=window_max(net),
+    )

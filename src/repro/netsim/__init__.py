@@ -1,0 +1,24 @@
+"""Discrete-event network simulation substrate.
+
+Models the paper's interconnection fabric: dedicated, switched, full-duplex
+100 Mbps Ethernet (Section 2.1), as well as the constrained links used for
+the scalability study (Section 5.4, Figure 6) and the shared-uplink
+contention experiment (Section 6.2, Figure 11).
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.switch import Switch
+from repro.netsim.transport import Endpoint, Network, ReplayBuffer
+
+__all__ = [
+    "Simulator",
+    "Packet",
+    "Link",
+    "LinkStats",
+    "Switch",
+    "Endpoint",
+    "Network",
+    "ReplayBuffer",
+]

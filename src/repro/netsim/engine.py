@@ -1,0 +1,108 @@
+"""A minimal, deterministic discrete-event simulator.
+
+All timed behaviour in the reproduction — packet serialization, CPU
+scheduling, yardstick think times — runs on this engine.  Events fire in
+timestamp order with FIFO tie-breaking, so simulations are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """An event queue with a clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, lambda: print(sim.now))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    # -- execution ----------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self.now = when
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` fire)."""
+        self._guard_reentry()
+        try:
+            fired = 0
+            while not self._stopped and self.step():
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def run_until(self, deadline: float) -> None:
+        """Run events with timestamps <= ``deadline``; clock ends there.
+
+        Events scheduled beyond the deadline stay queued, so a simulation
+        can be advanced in slices.
+        """
+        self._guard_reentry()
+        try:
+            while not self._stopped and self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            if self.now < deadline:
+                self.now = deadline
+        finally:
+            self._running = False
+            self._stopped = False
+
+    def stop(self) -> None:
+        """Abort the current run() after the in-flight event returns."""
+        self._stopped = True
+
+    def _guard_reentry(self) -> None:
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet fired."""
+        return len(self._queue)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Timestamp of the next event, or None when idle."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,147 @@
+"""Rate-limited, FIFO point-to-point links.
+
+A link models one direction of a full-duplex cable: packets serialize at
+the link rate, queue FIFO while the link is busy, then arrive after the
+propagation delay.  An optional queue limit (switch output buffer) causes
+tail drops; an optional random loss rate models corruption — both feed the
+transport layer's replay-based recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.units import transmission_delay
+
+
+@dataclass
+class LinkStats:
+    """Counters a link maintains for analysis."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+    queue_delay_total: float = 0.0
+    busy_time: float = 0.0
+
+    def mean_queue_delay(self) -> float:
+        """Average time packets waited behind others, in seconds."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.queue_delay_total / self.packets_sent
+
+
+class Link:
+    """One direction of a cable between two nodes.
+
+    Args:
+        sim: The event engine.
+        rate_bps: Serialization rate in bits/second.
+        propagation_delay: One-way latency, seconds (cable + PHY).
+        deliver: Called as ``deliver(packet)`` when a packet arrives at
+            the far end.
+        queue_limit_bytes: Output buffer size; None means unbounded.
+        loss_rate: Probability a packet is lost in flight (0 disables).
+        rng: Random generator for loss decisions; required when
+            ``loss_rate`` > 0 so runs stay deterministic.
+        name: Label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        propagation_delay: float,
+        deliver: Callable[[Packet], None],
+        queue_limit_bytes: Optional[int] = None,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "link",
+    ) -> None:
+        if rate_bps <= 0:
+            raise SimulationError(f"link rate must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise SimulationError("propagation delay cannot be negative")
+        if loss_rate > 0 and rng is None:
+            raise SimulationError("loss_rate > 0 requires an rng for determinism")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.deliver = deliver
+        self.queue_limit_bytes = queue_limit_bytes
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
+        self._queued_bytes = 0
+        self._busy = False
+
+    # -- sending -----------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet; returns False if the buffer dropped it."""
+        if (
+            self.queue_limit_bytes is not None
+            and self._queued_bytes + packet.nbytes > self.queue_limit_bytes
+        ):
+            self.stats.packets_dropped += 1
+            return False
+        self._queue.append((packet, self.sim.now))
+        self._queued_bytes += packet.nbytes
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet, enqueued_at = self._queue.popleft()
+        self._queued_bytes -= packet.nbytes
+        self.stats.queue_delay_total += self.sim.now - enqueued_at
+        serialization = transmission_delay(packet.nbytes, self.rate_bps)
+        self.stats.busy_time += serialization
+        self.sim.schedule(serialization, lambda: self._finish_serialization(packet))
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.nbytes
+        lost = (
+            self.loss_rate > 0
+            and self.rng is not None
+            and float(self.rng.random()) < self.loss_rate
+        )
+        if lost:
+            self.stats.packets_dropped += 1
+        else:
+            self.sim.schedule(
+                self.propagation_delay, lambda: self.deliver(packet)
+            )
+        # The wire frees up as soon as the last bit leaves.
+        self._transmit_next()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (not counting the one in flight)."""
+        return len(self._queue)
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the link has been serializing bits."""
+        window = elapsed if elapsed is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / window)

@@ -1,0 +1,38 @@
+"""Packets carried by the simulated interconnection fabric."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One datagram on the wire.
+
+    Attributes:
+        src: Source endpoint address (string, e.g. "server").
+        dst: Destination endpoint address.
+        nbytes: Size on the physical link, headers included.
+        payload: Opaque content — usually a :class:`repro.core.wire.Datagram`
+            or an experiment-specific marker; never inspected by the fabric.
+        flow: Optional flow label for per-flow statistics.
+        created_at: Simulation time the packet entered the network.
+    """
+
+    src: str
+    dst: str
+    nbytes: int
+    payload: Any = None
+    flow: Optional[str] = None
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise SimulationError(f"packet size must be positive, got {self.nbytes}")

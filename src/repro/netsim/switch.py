@@ -1,0 +1,62 @@
+"""A store-and-forward Ethernet switch.
+
+The paper's interconnection fabric is built from workgroup switches
+(Foundry FastIron); the essential behaviours for the experiments are
+per-output-port queueing (the contention point in Figure 11 is the shared
+link from the switch to the server) and a small forwarding latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+
+
+class Switch:
+    """Forwards packets to per-destination output links.
+
+    Args:
+        sim: The event engine.
+        forwarding_delay: Fixed store-and-forward lookup latency applied
+            to each packet before it is queued on the output port.
+        name: Diagnostic label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forwarding_delay: float = 5e-6,
+        name: str = "switch",
+    ) -> None:
+        if forwarding_delay < 0:
+            raise SimulationError("forwarding delay cannot be negative")
+        self.sim = sim
+        self.forwarding_delay = forwarding_delay
+        self.name = name
+        self._ports: Dict[str, Link] = {}
+        self.packets_forwarded = 0
+        self.packets_unrouteable = 0
+
+    def attach_port(self, address: str, link: Link) -> None:
+        """Bind the output link that reaches ``address``."""
+        if address in self._ports:
+            raise SimulationError(f"port for {address!r} already attached")
+        self._ports[address] = link
+
+    def ingress(self, packet: Packet) -> None:
+        """Receive a packet from any input port and forward it."""
+        link = self._ports.get(packet.dst)
+        if link is None:
+            self.packets_unrouteable += 1
+            return
+        self.packets_forwarded += 1
+        self.sim.schedule(self.forwarding_delay, lambda: link.send(packet))
+
+    @property
+    def ports(self) -> Dict[str, Link]:
+        """Read-only view of attached ports (address -> output link)."""
+        return dict(self._ports)

@@ -1,0 +1,187 @@
+"""Endpoints, topology wiring, and replay-based loss recovery.
+
+The SLIM protocol runs over unreliable datagrams; because every message
+has a unique identifier and is idempotent, loss recovery is simply
+"replay the named message" — no stop-and-wait, no cumulative ACKs
+(Section 2.2).  :class:`ReplayBuffer` implements the sender half (a ring
+of recently sent messages) and :class:`Endpoint` the receiver half (gap
+detection on sequence numbers + replay requests).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.switch import Switch
+
+
+class ReplayBuffer:
+    """Sender-side store of recently transmitted messages, keyed by seq.
+
+    Args:
+        capacity: Number of messages retained; the oldest are evicted.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise SimulationError("replay buffer capacity must be positive")
+        self.capacity = capacity
+        self._messages: "OrderedDict[int, object]" = OrderedDict()
+        self.replays_served = 0
+        self.replays_missed = 0
+
+    def store(self, seq: int, message: object) -> None:
+        """Remember a sent message for potential replay."""
+        self._messages[seq] = message
+        self._messages.move_to_end(seq)
+        while len(self._messages) > self.capacity:
+            self._messages.popitem(last=False)
+
+    def replay(self, seq: int) -> Optional[object]:
+        """Fetch a message for retransmission; None if already evicted."""
+        message = self._messages.get(seq)
+        if message is None:
+            self.replays_missed += 1
+        else:
+            self.replays_served += 1
+        return message
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class Endpoint:
+    """A network-attached node: receives packets, tracks sequence gaps.
+
+    Args:
+        address: Fabric address (must be unique in the network).
+        on_receive: Callback invoked with each delivered packet.
+        on_gap: Optional callback invoked with missing sequence numbers
+            when a gap is detected in a flow tagged with integer seqs.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        on_receive: Optional[Callable[[Packet], None]] = None,
+        on_gap: Optional[Callable[[List[int]], None]] = None,
+    ) -> None:
+        self.address = address
+        self.on_receive = on_receive
+        self.on_gap = on_gap
+        self.packets_received = 0
+        self.bytes_received = 0
+        self._next_expected_seq: Optional[int] = None
+        self.gaps_detected = 0
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the fabric when a packet arrives."""
+        self.packets_received += 1
+        self.bytes_received += packet.nbytes
+        seq = getattr(packet.payload, "seq", None)
+        if seq is not None:
+            self._track_seq(int(seq))
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    def _track_seq(self, seq: int) -> None:
+        if self._next_expected_seq is not None and seq > self._next_expected_seq:
+            missing = list(range(self._next_expected_seq, seq))
+            self.gaps_detected += 1
+            if self.on_gap is not None:
+                self.on_gap(missing)
+        if self._next_expected_seq is None or seq >= self._next_expected_seq:
+            self._next_expected_seq = seq + 1
+
+
+class Network:
+    """Builds and owns a switched star topology.
+
+    Every endpoint hangs off one switch via a full-duplex pair of links,
+    mirroring the paper's configuration (consoles and servers on a
+    workgroup switch).  Asymmetric rates are supported so the server can
+    have a faster uplink (the case studies use 1 Gbps server links).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_rate_bps: float,
+        propagation_delay: float = 5e-6,
+        forwarding_delay: float = 5e-6,
+    ) -> None:
+        self.sim = sim
+        self.default_rate_bps = default_rate_bps
+        self.propagation_delay = propagation_delay
+        self.switch = Switch(sim, forwarding_delay=forwarding_delay)
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._uplinks: Dict[str, Link] = {}   # endpoint -> switch
+        self._downlinks: Dict[str, Link] = {}  # switch -> endpoint
+
+    def attach(
+        self,
+        endpoint: Endpoint,
+        rate_bps: Optional[float] = None,
+        queue_limit_bytes: Optional[int] = None,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Endpoint:
+        """Connect an endpoint to the switch with a full-duplex link pair."""
+        if endpoint.address in self._endpoints:
+            raise SimulationError(f"address {endpoint.address!r} already attached")
+        rate = rate_bps if rate_bps is not None else self.default_rate_bps
+        uplink = Link(
+            self.sim,
+            rate,
+            self.propagation_delay,
+            deliver=self.switch.ingress,
+            loss_rate=loss_rate,
+            rng=rng,
+            name=f"{endpoint.address}->switch",
+        )
+        downlink = Link(
+            self.sim,
+            rate,
+            self.propagation_delay,
+            deliver=endpoint.deliver,
+            queue_limit_bytes=queue_limit_bytes,
+            loss_rate=loss_rate,
+            rng=rng,
+            name=f"switch->{endpoint.address}",
+        )
+        self.switch.attach_port(endpoint.address, downlink)
+        self._endpoints[endpoint.address] = endpoint
+        self._uplinks[endpoint.address] = uplink
+        self._downlinks[endpoint.address] = downlink
+        return endpoint
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet from its source endpoint's uplink."""
+        uplink = self._uplinks.get(packet.src)
+        if uplink is None:
+            raise SimulationError(f"unknown source endpoint {packet.src!r}")
+        if packet.dst not in self._endpoints:
+            raise SimulationError(f"unknown destination endpoint {packet.dst!r}")
+        packet.created_at = self.sim.now
+        return uplink.send(packet)
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError as exc:
+            raise SimulationError(f"unknown endpoint {address!r}") from exc
+
+    def downlink(self, address: str) -> Link:
+        """The switch->endpoint link (the Figure 11 contention point)."""
+        return self._downlinks[address]
+
+    def uplink(self, address: str) -> Link:
+        return self._uplinks[address]

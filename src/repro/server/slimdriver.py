@@ -1,0 +1,160 @@
+"""The SLIM virtual display driver (the paper's X-server port path).
+
+"We have implemented a virtual device driver for the X-server, and all X
+applications can run unchanged" (Section 2.2).  This class is that
+driver: it sits between application rendering (paint ops) and the wire,
+translating each display update into SLIM commands and — because it is
+also the instrumented driver of the user studies (Section 5) — logging a
+timestamped :class:`~repro.analysis.traces.UpdateRecord` per update with
+everything the post-processing needs: per-opcode bytes and pixels,
+console service time, and the X/raw baselines' costs for the same update.
+
+Server-side encoding overhead is charged per update; the paper measured
+it at 1.7% of X-server execution time (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core import commands as cmd
+from repro.core.costs import ConsoleCostModel
+from repro.core.encoder import EncoderConfig, SlimEncoder
+from repro.core.wire import message_wire_nbytes
+from repro.analysis.traces import UpdateRecord
+from repro.console.microops import MicroOpModel
+from repro.framebuffer.framebuffer import FrameBuffer
+from repro.framebuffer.painter import Painter, PaintOp
+from repro.xproto.baseline import RawPixelDriver, XDriver
+
+#: Reference-CPU encode cost per output byte, tuned so that encoding
+#: accounts for ~1.7% of server time on the benchmark workloads.
+ENCODE_NS_PER_BYTE = 45.0
+ENCODE_NS_PER_COMMAND = 3000.0
+
+
+@dataclass
+class DriverStats:
+    """Aggregate counters over a driver's lifetime."""
+
+    updates: int = 0
+    commands: int = 0
+    wire_bytes: int = 0
+    payload_bytes: int = 0
+    pixels: int = 0
+    encode_cpu_seconds: float = 0.0
+
+
+class SlimDriver:
+    """Translates paint-op display updates into SLIM traffic and logs them.
+
+    Args:
+        encoder: The command encoder; defaults to a full-featured one.
+        cost_model: Console timing model used to tag each update with its
+            decode service time (Figure 7).  Defaults to the micro-op
+            model.
+        framebuffer: Server-side authoritative framebuffer; required when
+            the encoder materializes payloads.
+        track_baselines: Also run each update through the X and raw-pixel
+            drivers so traces carry Figure 8's three-way comparison.
+        send: Optional callback receiving each encoded command (wired to
+            a network in the examples; None for pure trace collection).
+    """
+
+    def __init__(
+        self,
+        encoder: Optional[SlimEncoder] = None,
+        cost_model=None,
+        framebuffer: Optional[FrameBuffer] = None,
+        track_baselines: bool = True,
+        send: Optional[Callable[[cmd.DisplayCommand], None]] = None,
+    ) -> None:
+        self.encoder = encoder or SlimEncoder(materialize=framebuffer is not None)
+        self.cost_model = cost_model if cost_model is not None else MicroOpModel()
+        self.framebuffer = framebuffer
+        self.send = send
+        self.x_driver = XDriver() if track_baselines else None
+        self.raw_driver = RawPixelDriver() if track_baselines else None
+        self.stats = DriverStats()
+        self.records: List[UpdateRecord] = []
+
+    def paint_and_update(self, time: float, ops: List[PaintOp]) -> UpdateRecord:
+        """Paint ops into the server framebuffer, encoding each in turn.
+
+        This is the faithful driver call order: a real device driver is
+        invoked per rendering operation, so each op is encoded against
+        the framebuffer state it produced — required for correctness
+        when ops within one update overlap (a COPY whose source a later
+        op repaints, for example).
+        """
+        if self.framebuffer is None:
+            raise ValueError("paint_and_update requires a framebuffer")
+        painter = Painter(self.framebuffer)
+        commands: List[cmd.DisplayCommand] = []
+        for op in ops:
+            painter.apply(op)
+            commands.extend(self.encoder.encode_op(op, self.framebuffer))
+        return self._log_update(time, ops, commands)
+
+    def update(self, time: float, ops: List[PaintOp]) -> UpdateRecord:
+        """Process one already-painted display update: encode + log + send.
+
+        In materialized mode the ops must not overlap each other (use
+        :meth:`paint_and_update` for the general case); accounting-only
+        drivers have no such constraint.
+        """
+        commands = self.encoder.encode_ops(ops, self.framebuffer)
+        return self._log_update(time, ops, commands)
+
+    def _log_update(
+        self, time: float, ops: List[PaintOp], commands: List[cmd.DisplayCommand]
+    ) -> UpdateRecord:
+        payload_by: dict = {}
+        pixels_by: dict = {}
+        count_by: dict = {}
+        wire_bytes = 0
+        service_time = 0.0
+        for command in commands:
+            name = command.opcode.name
+            payload_by[name] = payload_by.get(name, 0) + command.payload_nbytes()
+            pixels_by[name] = pixels_by.get(name, 0) + command.pixels
+            count_by[name] = count_by.get(name, 0) + 1
+            wire_bytes += message_wire_nbytes(command)
+            service_time += self.cost_model.service_time(command)
+            if self.send is not None:
+                self.send(command)
+
+        x_bytes = self.x_driver.encode_ops(ops) if self.x_driver else 0
+        raw_bytes = self.raw_driver.encode_ops(ops) if self.raw_driver else 0
+        pixels = sum(op.pixels_changed for op in ops)
+
+        record = UpdateRecord(
+            time=time,
+            pixels=pixels,
+            wire_bytes=wire_bytes,
+            payload_bytes_by_opcode=payload_by,
+            pixels_by_opcode=pixels_by,
+            commands_by_opcode=count_by,
+            service_time=service_time,
+            x_bytes=x_bytes,
+            raw_bytes=raw_bytes,
+        )
+        self.records.append(record)
+        self._account(record, len(commands))
+        return record
+
+    def _account(self, record: UpdateRecord, ncommands: int) -> None:
+        self.stats.updates += 1
+        self.stats.commands += ncommands
+        self.stats.wire_bytes += record.wire_bytes
+        self.stats.payload_bytes += sum(record.payload_bytes_by_opcode.values())
+        self.stats.pixels += record.pixels
+        self.stats.encode_cpu_seconds += (
+            ncommands * ENCODE_NS_PER_COMMAND + record.wire_bytes * ENCODE_NS_PER_BYTE
+        ) * 1e-9
+
+    # -- convenience -----------------------------------------------------------
+    def mean_bandwidth_bps(self, duration: float) -> float:
+        """Average SLIM bandwidth over a session of ``duration`` seconds."""
+        return self.stats.wire_bytes * 8 / duration

@@ -1,0 +1,8 @@
+"""Command-line utilities built on the library.
+
+* ``python -m repro.tools.replay`` — replay a saved protocol trace over a
+  simulated link at any bandwidth and report the added-delay profile
+  (the Figure 6 methodology as a tool).
+* ``python -m repro.tools.capacity`` — size a server for a workgroup mix
+  (the Figure 9/12 machinery as a planner).
+"""

@@ -1,0 +1,41 @@
+"""Benchmark application workload models (Table 2).
+
+The paper's user studies had 50 people drive Photoshop, Netscape, Frame
+Maker, and PIM tools for ten-minute sessions on Sun Ray 1 prototypes.
+This package replaces the humans and the closed-source applications with
+stochastic session generators whose input-rate distributions, update-size
+distributions, and content mixes are calibrated to the landmark
+statistics the paper reports — and which drive the *real* protocol
+pipeline (encoder, wire format, cost models) end to end.
+
+Multimedia workloads (MPEG-II, NTSC video, Quake) live in
+:mod:`repro.workloads.video` and :mod:`repro.workloads.quake`.
+"""
+
+from repro.workloads.input_model import InputModel, InputEvent
+from repro.workloads.display_model import DisplayModel, UpdateArchetype
+from repro.workloads.apps import (
+    AppProfile,
+    BENCHMARK_APPS,
+    PHOTOSHOP,
+    NETSCAPE,
+    FRAMEMAKER,
+    PIM,
+)
+from repro.workloads.session import UserSession, ResourceProfile, run_user_study
+
+__all__ = [
+    "InputModel",
+    "InputEvent",
+    "DisplayModel",
+    "UpdateArchetype",
+    "AppProfile",
+    "BENCHMARK_APPS",
+    "PHOTOSHOP",
+    "NETSCAPE",
+    "FRAMEMAKER",
+    "PIM",
+    "UserSession",
+    "ResourceProfile",
+    "run_user_study",
+]

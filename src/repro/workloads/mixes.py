@@ -1,0 +1,120 @@
+"""Workgroup population mixes.
+
+The sharing experiments (Section 6) and the case studies (Section 6.3)
+are about *populations*: a server hosts a blend of Photoshop, Netscape,
+Frame Maker, and PIM users.  :class:`WorkgroupMix` describes such a
+blend and materialises it into resource profiles ready for the CPU
+scheduler and network load generators — the building block behind the
+``shared_workgroup`` example and the capacity-planning helper below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import BENCHMARK_APPS, AppProfile
+from repro.workloads.session import ResourceProfile, run_user_study
+
+
+@dataclass(frozen=True)
+class WorkgroupMix:
+    """A named blend of benchmark applications.
+
+    Attributes:
+        name: Label for reports.
+        counts: Mapping of application name -> number of active users.
+    """
+
+    name: str
+    counts: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise WorkloadError("a mix needs at least one application")
+        for app_name, count in self.counts:
+            if app_name not in BENCHMARK_APPS:
+                raise WorkloadError(f"unknown application {app_name!r}")
+            if count < 0:
+                raise WorkloadError(f"negative user count for {app_name}")
+        if self.total_users == 0:
+            raise WorkloadError("a mix needs at least one user")
+
+    @property
+    def total_users(self) -> int:
+        return sum(count for _name, count in self.counts)
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "WorkgroupMix":
+        """The same blend at ``factor`` times the population (rounded)."""
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return WorkgroupMix(
+            name=name or f"{self.name}-x{factor:g}",
+            counts=tuple(
+                (app, max(1, int(round(count * factor))) if count else 0)
+                for app, count in self.counts
+            ),
+        )
+
+    # -- materialisation ------------------------------------------------------
+    def build_profiles(
+        self,
+        duration: float = 300.0,
+        seed: int = 2026,
+    ) -> List[ResourceProfile]:
+        """Simulate one study session per user and return their profiles."""
+        profiles: List[ResourceProfile] = []
+        for index, (app_name, count) in enumerate(self.counts):
+            if count == 0:
+                continue
+            app = BENCHMARK_APPS[app_name]
+            _traces, app_profiles = run_user_study(
+                app, n_users=count, duration=duration, seed=seed + index
+            )
+            profiles.extend(app_profiles)
+        return profiles
+
+    # -- capacity estimation -----------------------------------------------------
+    def mean_cpu_demand(self) -> float:
+        """Expected demand in reference (296 MHz) CPUs."""
+        return sum(
+            BENCHMARK_APPS[app].cpu_mean * count for app, count in self.counts
+        )
+
+    def mean_memory_mb(self) -> float:
+        return sum(
+            BENCHMARK_APPS[app].memory_mb * count for app, count in self.counts
+        )
+
+    def estimated_cpus_needed(self, headroom: float = 0.5) -> int:
+        """Reference CPUs to host the mix with interactive headroom.
+
+        Figure 9 shows interactive service survives roughly 1.5-2x
+        oversubscription; ``headroom`` = 0.5 sizes for demand/(1+0.5)
+        utilization per CPU, a conservative planning figure.
+        """
+        if headroom < 0:
+            raise WorkloadError("headroom cannot be negative")
+        return max(1, int(np.ceil(self.mean_cpu_demand() / (1.0 + headroom))))
+
+
+#: A typical engineering office blend (heavier office tools).
+OFFICE_MIX = WorkgroupMix(
+    "office",
+    (("Netscape", 4), ("FrameMaker", 4), ("PIM", 6), ("Photoshop", 1)),
+)
+
+#: A design group (image-tool heavy).
+DESIGN_MIX = WorkgroupMix(
+    "design",
+    (("Photoshop", 6), ("Netscape", 3), ("PIM", 3)),
+)
+
+#: A student lab blend (browsing + editing).
+LAB_MIX = WorkgroupMix(
+    "lab",
+    (("Netscape", 8), ("FrameMaker", 5), ("PIM", 7)),
+)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.framebuffer import FrameBuffer, Painter, Rect
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fb():
+    """A small framebuffer most protocol tests share."""
+    return FrameBuffer(128, 96)
+
+
+@pytest.fixture
+def painter(fb):
+    return Painter(fb)
+
+
+@pytest.fixture
+def big_fb():
+    """A display-sized framebuffer for geometry-heavy tests."""
+    return FrameBuffer(1280, 1024)

@@ -1,0 +1,89 @@
+"""Unit tests for the audio subsystem."""
+
+import pytest
+
+from repro.core.audio import (
+    CD_QUALITY,
+    TELEPHONY,
+    AudioFormat,
+    AudioSource,
+    PlayoutBuffer,
+    audio_quality_under_jitter,
+)
+from repro.errors import ProtocolError
+
+
+class TestAudioFormat:
+    def test_telephony_block_size(self):
+        # 8kHz * 16-bit mono * 10ms = 160 bytes.
+        assert TELEPHONY.block_nbytes == 160
+        assert TELEPHONY.bitrate_bps == 128_000
+
+    def test_cd_quality(self):
+        assert CD_QUALITY.bitrate_bps == 44100 * 2 * 2 * 8
+
+    def test_wire_rate_exceeds_bitrate(self):
+        assert TELEPHONY.wire_bps() > TELEPHONY.bitrate_bps
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            AudioFormat(sample_rate_hz=0)
+        with pytest.raises(ProtocolError):
+            AudioFormat(channels=3)
+        with pytest.raises(ProtocolError):
+            AudioFormat(block_ms=0)
+
+
+class TestAudioSource:
+    def test_blocks_have_format_size(self):
+        source = AudioSource()
+        block = source.next_block()
+        assert block.nbytes == 160
+        assert source.blocks_sent == 1
+
+    def test_send_times_follow_cadence(self):
+        source = AudioSource()
+        assert source.send_time(0) == 0.0
+        assert source.send_time(10) == pytest.approx(0.100)
+
+
+class TestPlayoutBuffer:
+    def test_prefill_validated(self):
+        with pytest.raises(ProtocolError):
+            PlayoutBuffer(prefill=0)
+
+    def test_constant_delay_never_underruns(self):
+        rate = audio_quality_under_jitter([0.002] * 100)
+        assert rate == 0.0
+
+    def test_small_jitter_absorbed_by_prefill(self):
+        delays = [0.002 + (0.003 if i % 7 == 0 else 0.0) for i in range(100)]
+        assert audio_quality_under_jitter(delays, prefill=2) == 0.0
+
+    def test_large_spike_underruns(self):
+        delays = [0.001] * 50 + [0.200] + [0.001] * 49
+        rate = audio_quality_under_jitter(delays, prefill=2)
+        assert rate > 0.0
+
+    def test_deeper_prefill_tolerates_more_jitter(self):
+        delays = [0.001 if i % 3 else 0.018 for i in range(200)]
+        shallow = audio_quality_under_jitter(delays, prefill=1)
+        deep = audio_quality_under_jitter(delays, prefill=4)
+        assert deep <= shallow
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ProtocolError):
+            audio_quality_under_jitter([-0.001])
+
+    def test_empty_drain(self):
+        buffer = PlayoutBuffer()
+        assert buffer.drain() == 0.0
+        assert buffer.underrun_rate() == 0.0
+
+    def test_glitch_time_positive_on_late_blocks(self):
+        buffer = PlayoutBuffer(prefill=1)
+        buffer.arrive(0.0)
+        buffer.arrive(0.5)  # long after its slot at start + 10ms = 20ms
+        glitch = buffer.drain()
+        assert glitch == pytest.approx(0.48, abs=0.01)
+        assert buffer.underruns == 1

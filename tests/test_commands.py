@@ -1,0 +1,139 @@
+"""Unit tests for SLIM message types (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import commands as cmd
+from repro.core.commands import (
+    Opcode,
+    bitmap_row_bytes,
+    cscs_plane_bytes,
+)
+from repro.errors import GeometryError, ProtocolError
+from repro.framebuffer import Rect
+
+
+class TestSizes:
+    def test_bitmap_row_bytes(self):
+        assert bitmap_row_bytes(1) == 1
+        assert bitmap_row_bytes(8) == 1
+        assert bitmap_row_bytes(9) == 2
+        assert bitmap_row_bytes(16) == 2
+
+    def test_cscs_plane_bytes_16bpp_aligned(self):
+        assert cscs_plane_bytes(64, 64, 16) == 64 * 64 * 2
+
+    def test_cscs_plane_bytes_unknown_depth(self):
+        with pytest.raises(GeometryError):
+            cscs_plane_bytes(8, 8, 9)
+
+    def test_cscs_plane_bytes_odd_sizes_round_up(self):
+        # 3x3 at 12bpp: luma 9px*8b=9B, chroma 2*(2*2*8b/8)=8B.
+        assert cscs_plane_bytes(3, 3, 12) == 9 + 8
+
+
+class TestSetCommand:
+    def test_payload_size(self):
+        c = cmd.SetCommand(rect=Rect(0, 0, 10, 10))
+        assert c.payload_nbytes() == 8 + 300
+
+    def test_data_shape_validated(self):
+        with pytest.raises(GeometryError):
+            cmd.SetCommand(
+                rect=Rect(0, 0, 4, 4), data=np.zeros((3, 4, 3), dtype=np.uint8)
+            )
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            cmd.SetCommand(rect=Rect(0, 0, 0, 4))
+
+    def test_pixels(self):
+        assert cmd.SetCommand(rect=Rect(2, 2, 5, 4)).pixels == 20
+
+    def test_opcode(self):
+        assert cmd.SetCommand(rect=Rect(0, 0, 1, 1)).opcode == Opcode.SET
+
+
+class TestBitmapCommand:
+    def test_payload_counts_row_padding(self):
+        # 9 px wide -> 2 bytes per row.
+        c = cmd.BitmapCommand(rect=Rect(0, 0, 9, 4))
+        assert c.payload_nbytes() == 8 + 6 + 2 * 4
+
+    def test_bitmap_shape_validated(self):
+        with pytest.raises(GeometryError):
+            cmd.BitmapCommand(rect=Rect(0, 0, 4, 4), bitmap=np.zeros((4, 5), bool))
+
+    def test_compression_vs_set(self):
+        rect = Rect(0, 0, 64, 64)
+        bitmap = cmd.BitmapCommand(rect=rect)
+        literal = cmd.SetCommand(rect=rect)
+        assert bitmap.payload_nbytes() * 20 < literal.payload_nbytes()
+
+
+class TestFillAndCopy:
+    def test_fill_payload_constant(self):
+        small = cmd.FillCommand(rect=Rect(0, 0, 2, 2))
+        huge = cmd.FillCommand(rect=Rect(0, 0, 1280, 1024))
+        assert small.payload_nbytes() == huge.payload_nbytes() == 11
+
+    def test_copy_payload_constant(self):
+        c = cmd.CopyCommand(rect=Rect(10, 10, 50, 50), src_x=0, src_y=0)
+        assert c.payload_nbytes() == 12
+
+    def test_copy_src_rect(self):
+        c = cmd.CopyCommand(rect=Rect(10, 10, 50, 40), src_x=3, src_y=4)
+        assert c.src == Rect(3, 4, 50, 40)
+
+
+class TestCscsCommand:
+    def test_defaults_source_to_dst(self):
+        c = cmd.CscsCommand(rect=Rect(0, 0, 32, 16), bits_per_pixel=16)
+        assert (c.src_w, c.src_h) == (32, 16)
+        assert not c.scales
+
+    def test_scaling_detected(self):
+        c = cmd.CscsCommand(rect=Rect(0, 0, 64, 64), src_w=32, src_h=32)
+        assert c.scales
+        assert c.source_pixels == 32 * 32
+
+    def test_invalid_depth(self):
+        with pytest.raises(ProtocolError):
+            cmd.CscsCommand(rect=Rect(0, 0, 8, 8), bits_per_pixel=7)
+
+    def test_payload_size_validated(self):
+        with pytest.raises(ProtocolError):
+            cmd.CscsCommand(rect=Rect(0, 0, 8, 8), bits_per_pixel=16, payload=b"xx")
+
+    def test_depth_ladder_monotone_sizes(self):
+        sizes = [
+            cmd.CscsCommand(rect=Rect(0, 0, 64, 64), bits_per_pixel=bpp).payload_nbytes()
+            for bpp in (16, 12, 8, 6, 5)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestNonDisplayMessages:
+    def test_key_event(self):
+        e = cmd.KeyEvent(code=65, pressed=True)
+        assert e.payload_nbytes() == 3
+        assert e.opcode == Opcode.KEY_EVENT
+
+    def test_mouse_event(self):
+        e = cmd.MouseEvent(x=100, y=200, buttons=1)
+        assert e.payload_nbytes() == 5
+
+    def test_audio_data(self):
+        assert cmd.AudioData(nbytes=480).payload_nbytes() == 480
+
+    def test_audio_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            cmd.AudioData(nbytes=-1)
+
+    def test_status(self):
+        assert cmd.StatusMessage(kind=1, value=2).payload_nbytes() == 6
+
+    def test_bandwidth_messages(self):
+        req = cmd.BandwidthRequest(client_id=1, bits_per_second=2e6)
+        grant = cmd.BandwidthGrant(client_id=1, bits_per_second=2e6)
+        assert req.payload_nbytes() == grant.payload_nbytes() == 8

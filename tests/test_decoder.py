@@ -1,0 +1,106 @@
+"""Unit tests for console-side command execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import commands as cmd
+from repro.core import cscs_codec
+from repro.core.decoder import SlimDecoder
+from repro.core.commands import Opcode
+from repro.errors import ProtocolError
+from repro.framebuffer import FrameBuffer, Rect
+from repro.framebuffer.painter import synth_video_frame
+
+
+@pytest.fixture
+def decoder(fb):
+    return SlimDecoder(fb)
+
+
+class TestDisplayCommands:
+    def test_fill(self, fb, decoder):
+        decoder.apply(cmd.FillCommand(rect=Rect(0, 0, 8, 8), color=(7, 8, 9)))
+        assert fb.is_uniform(Rect(0, 0, 8, 8)) == (7, 8, 9)
+
+    def test_set(self, fb, decoder, rng):
+        data = rng.integers(0, 256, size=(6, 8, 3), dtype=np.uint8)
+        decoder.apply(cmd.SetCommand(rect=Rect(4, 4, 8, 6), data=data))
+        assert np.array_equal(fb.read(Rect(4, 4, 8, 6)), data)
+
+    def test_bitmap(self, fb, decoder):
+        bitmap = np.eye(4, dtype=bool)
+        decoder.apply(
+            cmd.BitmapCommand(
+                rect=Rect(0, 0, 4, 4), fg=(255, 0, 0), bg=(0, 255, 0), bitmap=bitmap
+            )
+        )
+        assert fb.pixel(0, 0) == (255, 0, 0)
+        assert fb.pixel(1, 0) == (0, 255, 0)
+
+    def test_copy(self, fb, decoder):
+        fb.fill(Rect(0, 0, 4, 4), (9, 9, 9))
+        decoder.apply(cmd.CopyCommand(rect=Rect(10, 10, 4, 4), src_x=0, src_y=0))
+        assert fb.is_uniform(Rect(10, 10, 4, 4)) == (9, 9, 9)
+
+    def test_cscs_without_scaling(self, fb, decoder):
+        frame = synth_video_frame(Rect(0, 0, 32, 24), seed=1)
+        payload = cscs_codec.encode_frame(frame, 16)
+        decoder.apply(
+            cmd.CscsCommand(rect=Rect(0, 0, 32, 24), bits_per_pixel=16, payload=payload)
+        )
+        err = np.abs(
+            fb.read(Rect(0, 0, 32, 24)).astype(int) - frame.astype(int)
+        ).mean()
+        assert err < 6.0
+
+    def test_cscs_with_scaling(self, fb, decoder):
+        frame = synth_video_frame(Rect(0, 0, 16, 12), seed=1)
+        payload = cscs_codec.encode_frame(frame, 16)
+        damaged = decoder.apply(
+            cmd.CscsCommand(
+                rect=Rect(0, 0, 32, 24),
+                src_w=16,
+                src_h=12,
+                bits_per_pixel=16,
+                payload=payload,
+            )
+        )
+        assert damaged == Rect(0, 0, 32, 24)
+
+    def test_accounting_only_set_rejected(self, decoder):
+        with pytest.raises(ProtocolError):
+            decoder.apply(cmd.SetCommand(rect=Rect(0, 0, 4, 4)))
+
+    def test_accounting_only_bitmap_rejected(self, decoder):
+        with pytest.raises(ProtocolError):
+            decoder.apply(cmd.BitmapCommand(rect=Rect(0, 0, 4, 4)))
+
+    def test_accounting_only_cscs_rejected(self, decoder):
+        with pytest.raises(ProtocolError):
+            decoder.apply(cmd.CscsCommand(rect=Rect(0, 0, 4, 4)))
+
+
+class TestBookkeeping:
+    def test_counts_by_opcode(self, decoder):
+        decoder.apply(cmd.FillCommand(rect=Rect(0, 0, 4, 4)))
+        decoder.apply(cmd.FillCommand(rect=Rect(0, 0, 4, 4)))
+        decoder.apply(cmd.CopyCommand(rect=Rect(4, 4, 2, 2), src_x=0, src_y=0))
+        assert decoder.commands_applied[Opcode.FILL] == 2
+        assert decoder.commands_applied[Opcode.COPY] == 1
+
+    def test_pixels_written(self, decoder):
+        decoder.apply(cmd.FillCommand(rect=Rect(0, 0, 4, 4)))
+        assert decoder.pixels_written == 16
+
+    def test_non_display_ignored(self, decoder):
+        assert decoder.apply(cmd.KeyEvent(code=1, pressed=True)) is None
+        assert decoder.pixels_written == 0
+
+    def test_apply_all_returns_delta(self, decoder):
+        written = decoder.apply_all(
+            [
+                cmd.FillCommand(rect=Rect(0, 0, 4, 4)),
+                cmd.FillCommand(rect=Rect(0, 0, 2, 2)),
+            ]
+        )
+        assert written == 20

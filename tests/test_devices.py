@@ -1,0 +1,76 @@
+"""Unit tests for the remote device manager."""
+
+import pytest
+
+from repro.core.devices import Device, DeviceClass, RemoteDeviceManager
+from repro.errors import SessionError
+
+
+@pytest.fixture
+def manager():
+    return RemoteDeviceManager()
+
+
+def kb(console="c1", port=0, device_id="kb0"):
+    return Device(device_id, DeviceClass.KEYBOARD, console, port)
+
+
+class TestPlugUnplug:
+    def test_plug_and_find(self, manager):
+        manager.plug(kb())
+        found = manager.find("c1", DeviceClass.KEYBOARD)
+        assert found is not None and found.device_id == "kb0"
+
+    def test_port_range_enforced(self):
+        with pytest.raises(SessionError):
+            Device("x", DeviceClass.MOUSE, "c1", 4)
+
+    def test_port_conflict(self, manager):
+        manager.plug(kb())
+        with pytest.raises(SessionError):
+            manager.plug(Device("mouse0", DeviceClass.MOUSE, "c1", 0))
+
+    def test_duplicate_device_id(self, manager):
+        manager.plug(kb())
+        with pytest.raises(SessionError):
+            manager.plug(Device("kb0", DeviceClass.KEYBOARD, "c2", 1))
+
+    def test_unplug(self, manager):
+        manager.plug(kb())
+        removed = manager.unplug("kb0")
+        assert removed.device_id == "kb0"
+        assert manager.find("c1", DeviceClass.KEYBOARD) is None
+
+    def test_unplug_unknown(self, manager):
+        with pytest.raises(SessionError):
+            manager.unplug("ghost")
+
+    def test_port_freed_after_unplug(self, manager):
+        manager.plug(kb())
+        manager.unplug("kb0")
+        manager.plug(Device("mouse0", DeviceClass.MOUSE, "c1", 0))
+        assert len(manager) == 1
+
+
+class TestConsoleScope:
+    def test_devices_at_ordered_by_port(self, manager):
+        manager.plug(Device("b", DeviceClass.MOUSE, "c1", 2))
+        manager.plug(Device("a", DeviceClass.KEYBOARD, "c1", 0))
+        assert [d.device_id for d in manager.devices_at("c1")] == ["a", "b"]
+
+    def test_unplug_console_drops_all(self, manager):
+        manager.plug(Device("a", DeviceClass.KEYBOARD, "c1", 0))
+        manager.plug(Device("b", DeviceClass.MOUSE, "c1", 1))
+        manager.plug(Device("c", DeviceClass.AUDIO, "c2", 0))
+        removed = manager.unplug_console("c1")
+        assert {d.device_id for d in removed} == {"a", "b"}
+        assert len(manager) == 1
+
+    def test_find_first_of_class(self, manager):
+        manager.plug(Device("m1", DeviceClass.MOUSE, "c1", 1))
+        manager.plug(Device("m0", DeviceClass.MOUSE, "c1", 0))
+        assert manager.find("c1", DeviceClass.MOUSE).device_id == "m0"
+
+    def test_find_missing_class(self, manager):
+        manager.plug(kb())
+        assert manager.find("c1", DeviceClass.AUDIO) is None

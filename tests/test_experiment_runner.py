@@ -1,0 +1,137 @@
+"""Tests for the experiment registry, rendering, and run() smoke paths."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.runner import (
+    ExperimentResult,
+    REGISTRY,
+    register,
+    render_table,
+    run_all,
+)
+
+
+class TestResultAndRendering:
+    def make(self):
+        return ExperimentResult(
+            experiment_id="x1",
+            title="A title",
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "z"}],
+            notes=["a note"],
+        )
+
+    def test_column_names_union_in_order(self):
+        assert self.make().column_names() == ["a", "b", "c"]
+
+    def test_row_values(self):
+        assert self.make().row_values("a") == [1, 3]
+
+    def test_render_contains_everything(self):
+        text = render_table(self.make())
+        assert "x1" in text and "A title" in text
+        assert "2.5" in text
+        assert "a note" in text
+
+    def test_render_empty_rows(self):
+        text = render_table(ExperimentResult("e", "t"))
+        assert "e: t" in text
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        # Importing the package __main__ registers everything.
+        import repro.experiments.__main__  # noqa: F401
+
+        expected = {
+            "table4", "table5",
+            "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "multimedia", "ablations",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_duplicate_registration_rejected(self):
+        register("only-once-test", lambda: ExperimentResult("x", "y"))
+        with pytest.raises(ReproError):
+            register("only-once-test", lambda: ExperimentResult("x", "y"))
+
+    def test_run_all_unknown_id(self):
+        with pytest.raises(ReproError):
+            run_all(["no-such-experiment"])
+
+    def test_run_all_subset(self):
+        register("trivial-test", lambda: ExperimentResult("trivial-test", "t"))
+        results = run_all(["trivial-test"])
+        assert results[0].experiment_id == "trivial-test"
+
+
+class TestRunSmoke:
+    """Cheap run() smoke tests for modules not covered elsewhere."""
+
+    def test_table4_run(self):
+        from repro.experiments.table4 import run
+
+        result = run()
+        assert len(result.rows) == 4
+        assert any("550" in str(row.values()) for row in result.rows)
+
+    def test_fig12_run(self):
+        from repro.experiments.fig12 import run
+
+        result = run(seed=5)
+        assert len(result.rows) == 2
+
+    def test_multimedia_run(self):
+        from repro.experiments.multimedia import run
+
+        result = run()
+        assert len(result.rows) == 7
+        assert all("fps" in row for row in result.rows)
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+
+    def test_cli_unknown_experiment(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["definitely-not-registered"])
+
+    def test_cli_runs_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Xmark" in out or "x11perf" in out
+
+
+class TestUserstudyCache:
+    def test_memoised_identity(self):
+        from repro.experiments import userstudy
+        from repro.workloads.apps import PIM
+
+        a = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=77)
+        b = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=77)
+        assert a is b  # same cached object
+
+    def test_distinct_configs_distinct_entries(self):
+        from repro.experiments import userstudy
+        from repro.workloads.apps import PIM
+
+        a = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=77)
+        c = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=78)
+        assert a is not c
+
+    def test_clear_cache(self):
+        from repro.experiments import userstudy
+        from repro.workloads.apps import PIM
+
+        a = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=79)
+        userstudy.clear_cache()
+        b = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=79)
+        assert a is not b

@@ -1,0 +1,187 @@
+"""Unit tests for network load generation and yardsticks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern
+from repro.loadgen.yardstick import (
+    CPU_YARDSTICK_BURST,
+    CPU_YARDSTICK_THINK,
+    NET_YARDSTICK_REQUEST_NBYTES,
+    NET_YARDSTICK_RESPONSE_NBYTES,
+    NetworkYardstick,
+)
+from repro.netsim import Endpoint, Network, Packet, Simulator
+from repro.units import ETHERNET_100, MBPS
+from repro.workloads.session import ResourceProfile
+
+
+def make_profile(net_bytes, interval=5.0):
+    return ResourceProfile(
+        application="App",
+        user="u",
+        interval=interval,
+        cpu=[0.1] * len(net_bytes),
+        net_bytes=list(net_bytes),
+        memory_mb=10.0,
+    )
+
+
+def make_network():
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=ETHERNET_100)
+    network.attach(Endpoint("server"))
+    sink = network.attach(Endpoint("sink"))
+    return sim, network, sink
+
+
+class TestTrafficPattern:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TrafficPattern(updates_per_second=0)
+        with pytest.raises(WorkloadError):
+            TrafficPattern(active_fraction=0)
+        with pytest.raises(WorkloadError):
+            TrafficPattern(active_fraction=1.5)
+
+
+class TestNetworkLoadGenerator:
+    def test_emits_profile_bytes(self, rng):
+        sim, network, sink = make_network()
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([100_000]), rng=rng
+        )
+        generator.start()
+        sim.run_until(5.0)
+        assert generator.bytes_emitted == pytest.approx(100_000, rel=0.05)
+        assert sink.bytes_received == pytest.approx(generator.bytes_emitted, rel=0.01)
+
+    def test_profile_loops(self, rng):
+        sim, network, sink = make_network()
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([50_000], interval=1.0), rng=rng
+        )
+        generator.start()
+        sim.run_until(4.0)
+        assert generator.bytes_emitted == pytest.approx(200_000, rel=0.1)
+
+    def test_zero_interval_emits_nothing(self, rng):
+        sim, network, sink = make_network()
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([0, 0]), rng=rng
+        )
+        generator.start()
+        sim.run_until(9.0)
+        assert generator.bytes_emitted == 0
+
+    def test_scale_multiplies_bytes(self, rng):
+        sim, network, _ = make_network()
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([10_000]), rng=rng, scale=3.0
+        )
+        generator.start()
+        sim.run_until(5.0)
+        assert generator.bytes_emitted == pytest.approx(30_000, rel=0.05)
+
+    def test_invalid_scale(self, rng):
+        sim, network, _ = make_network()
+        with pytest.raises(WorkloadError):
+            NetworkLoadGenerator(
+                sim, network, "server", "sink", make_profile([1]), rng=rng, scale=0
+            )
+
+    def test_double_start_rejected(self, rng):
+        sim, network, _ = make_network()
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([1000]), rng=rng
+        )
+        generator.start()
+        with pytest.raises(WorkloadError):
+            generator.start()
+
+    def test_packets_bounded_by_mtu(self, rng):
+        sim, network, sink = make_network()
+        got = []
+        sink.on_receive = got.append
+        generator = NetworkLoadGenerator(
+            sim, network, "server", "sink", make_profile([20_000]), rng=rng
+        )
+        generator.start()
+        sim.run_until(5.0)
+        assert all(64 <= p.nbytes <= 1500 for p in got)
+
+
+class TestCpuYardstickConstants:
+    def test_paper_values(self):
+        assert CPU_YARDSTICK_BURST == pytest.approx(0.030)
+        assert CPU_YARDSTICK_THINK == pytest.approx(0.150)
+        # ~17% of a processor, more demanding than any benchmark app.
+        share = CPU_YARDSTICK_BURST / (CPU_YARDSTICK_BURST + CPU_YARDSTICK_THINK)
+        assert share == pytest.approx(1 / 6)
+
+
+class TestNetworkYardstick:
+    def make(self, warmup=0.0):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        yardstick = NetworkYardstick(
+            sim, network, console_addr="console", server_addr="server", warmup=warmup
+        )
+        network.attach(Endpoint("console", on_receive=yardstick.handle_console_packet))
+        network.attach(Endpoint("server", on_receive=yardstick.handle_server_packet))
+        return sim, network, yardstick
+
+    def test_packet_sizes(self):
+        assert NET_YARDSTICK_REQUEST_NBYTES == 64
+        assert NET_YARDSTICK_RESPONSE_NBYTES == 1200
+
+    def test_unloaded_rtt_sub_millisecond(self):
+        sim, _network, yardstick = self.make()
+        yardstick.start()
+        sim.run_until(3.0)
+        assert len(yardstick.rtts) >= 15
+        assert yardstick.mean_rtt() < 0.001
+        assert yardstick.loss_rate() == 0.0
+
+    def test_think_time_paces_probes(self):
+        sim, _network, yardstick = self.make()
+        yardstick.start()
+        sim.run_until(1.6)
+        # ~1.6s / 150ms think -> about 10 probes.
+        assert 8 <= len(yardstick.rtts) <= 11
+
+    def test_no_samples_raises(self):
+        sim, _network, yardstick = self.make()
+        with pytest.raises(WorkloadError):
+            yardstick.mean_rtt()
+
+    def test_warmup_discards(self):
+        sim, _network, yardstick = self.make(warmup=1.0)
+        yardstick.start()
+        sim.run_until(2.0)
+        assert len(yardstick.rtts) <= 8
+
+    def test_ignores_foreign_flows(self):
+        sim, network, yardstick = self.make()
+        yardstick.start()
+        network.send(Packet(src="server", dst="console", nbytes=100, flow="other"))
+        sim.run_until(1.0)
+        assert yardstick.loss_rate() == 0.0
+
+    def test_contention_raises_rtt(self, rng):
+        sim, network, yardstick = self.make()
+        network.attach(Endpoint("sink"))
+        generator = NetworkLoadGenerator(
+            sim,
+            network,
+            "server",
+            "sink",
+            make_profile([40_000_000], interval=5.0),  # 64 Mbps background
+            pattern=TrafficPattern(updates_per_second=20, active_fraction=1.0),
+            rng=rng,
+        )
+        generator.start()
+        yardstick.start()
+        sim.run_until(5.0)
+        assert yardstick.mean_rtt() > 0.0005

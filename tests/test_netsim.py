@@ -1,0 +1,293 @@
+"""Unit tests for the discrete-event engine and the network fabric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import Endpoint, Link, Network, Packet, Simulator, Switch
+from repro.netsim.transport import ReplayBuffer
+from repro.units import ETHERNET_100, MBPS, transmission_delay
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == pytest.approx(0.3)
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(1.5)
+        assert fired == [1]
+        assert sim.now == pytest.approx(1.5)
+        assert sim.pending == 1
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(0.1, lambda: chain(n + 1))
+
+        sim.schedule(0.1, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(0.2, lambda: fired.append(2))
+        sim.run()
+        assert fired == [(1, None)] or fired[0] is not None  # stop consumed
+        assert len(fired) == 1
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i * 0.1 + 0.1, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(0.5, lambda: None)
+        assert sim.peek_next_time() == pytest.approx(0.5)
+
+
+class TestLink:
+    def make_link(self, rate=ETHERNET_100, **kw):
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, rate, 5e-6, deliver=delivered.append, **kw)
+        return sim, link, delivered
+
+    def test_serialization_plus_propagation(self):
+        sim, link, delivered = self.make_link()
+        link.send(Packet(src="a", dst="b", nbytes=1500))
+        sim.run()
+        expected = transmission_delay(1500, ETHERNET_100) + 5e-6
+        assert sim.now == pytest.approx(expected)
+        assert len(delivered) == 1
+
+    def test_fifo_queueing(self):
+        sim, link, delivered = self.make_link(rate=1 * MBPS)
+        times = []
+        link.deliver = lambda p: times.append(sim.now)
+        for _ in range(3):
+            link.send(Packet(src="a", dst="b", nbytes=1250))  # 10ms each
+        sim.run()
+        assert times == pytest.approx([0.010005, 0.020005, 0.030005], rel=1e-3)
+        assert link.stats.packets_sent == 3
+
+    def test_queue_delay_tracked(self):
+        sim, link, _ = self.make_link(rate=1 * MBPS)
+        link.send(Packet(src="a", dst="b", nbytes=1250))
+        link.send(Packet(src="a", dst="b", nbytes=1250))
+        sim.run()
+        assert link.stats.mean_queue_delay() == pytest.approx(0.005, rel=1e-2)
+
+    def test_queue_limit_drops(self):
+        sim, link, delivered = self.make_link(
+            rate=1 * MBPS, queue_limit_bytes=2000
+        )
+        sent = [link.send(Packet(src="a", dst="b", nbytes=1500)) for _ in range(3)]
+        sim.run()
+        assert sent.count(False) >= 1
+        assert link.stats.packets_dropped >= 1
+
+    def test_loss_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Link(sim, 1e6, 0, deliver=lambda p: None, loss_rate=0.5)
+
+    def test_lossy_link_drops_fraction(self, rng):
+        sim = Simulator()
+        delivered = []
+        link = Link(
+            sim, 1e9, 0, deliver=delivered.append, loss_rate=0.5, rng=rng
+        )
+        for _ in range(200):
+            link.send(Packet(src="a", dst="b", nbytes=100))
+        sim.run()
+        assert 60 < len(delivered) < 140
+
+    def test_utilization(self):
+        sim, link, _ = self.make_link(rate=1 * MBPS)
+        link.send(Packet(src="a", dst="b", nbytes=1250))
+        sim.run()
+        assert 0.9 < link.utilization(elapsed=0.010) <= 1.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(SimulationError):
+            Link(Simulator(), 0, 0, deliver=lambda p: None)
+
+
+class TestSwitchAndNetwork:
+    def test_switch_routes_by_destination(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        got = {"b": [], "c": []}
+        network.attach(Endpoint("a"))
+        network.attach(Endpoint("b", on_receive=got["b"].append))
+        network.attach(Endpoint("c", on_receive=got["c"].append))
+        network.send(Packet(src="a", dst="b", nbytes=100))
+        network.send(Packet(src="a", dst="c", nbytes=100))
+        sim.run()
+        assert len(got["b"]) == 1
+        assert len(got["c"]) == 1
+
+    def test_unknown_destination_rejected(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        network.attach(Endpoint("a"))
+        with pytest.raises(SimulationError):
+            network.send(Packet(src="a", dst="ghost", nbytes=100))
+
+    def test_unknown_source_rejected(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        network.attach(Endpoint("a"))
+        with pytest.raises(SimulationError):
+            network.send(Packet(src="ghost", dst="a", nbytes=100))
+
+    def test_duplicate_address_rejected(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        network.attach(Endpoint("a"))
+        with pytest.raises(SimulationError):
+            network.attach(Endpoint("a"))
+
+    def test_asymmetric_rates(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        network.attach(Endpoint("server"), rate_bps=1e9)
+        network.attach(Endpoint("console"))
+        assert network.uplink("server").rate_bps == 1e9
+        assert network.uplink("console").rate_bps == ETHERNET_100
+
+    def test_rtt_through_switch(self):
+        """A 64B request + 1200B reply RTT is well under a millisecond."""
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        done = {}
+
+        def server_rx(packet):
+            network.send(Packet(src="server", dst="console", nbytes=1200))
+
+        def console_rx(packet):
+            done["rtt"] = sim.now
+
+        network.attach(Endpoint("console", on_receive=console_rx))
+        network.attach(Endpoint("server", on_receive=server_rx))
+        network.send(Packet(src="console", dst="server", nbytes=64))
+        sim.run()
+        assert done["rtt"] < 0.001
+
+    def test_endpoint_counters(self):
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        sink = network.attach(Endpoint("sink"))
+        network.attach(Endpoint("src"))
+        network.send(Packet(src="src", dst="sink", nbytes=500))
+        sim.run()
+        assert sink.packets_received == 1
+        assert sink.bytes_received == 500
+
+    def test_switch_counts_unrouteable(self):
+        sim = Simulator()
+        switch = Switch(sim)
+        switch.ingress(Packet(src="a", dst="nowhere", nbytes=10))
+        sim.run()
+        assert switch.packets_unrouteable == 1
+
+
+class TestGapDetectionAndReplay:
+    def test_gap_detection(self):
+        gaps = []
+        endpoint = Endpoint("rx", on_gap=gaps.append)
+
+        class Tagged:
+            def __init__(self, seq):
+                self.seq = seq
+
+        for seq in (0, 1, 4):
+            endpoint.deliver(Packet(src="a", dst="rx", nbytes=10, payload=Tagged(seq)))
+        assert gaps == [[2, 3]]
+        assert endpoint.gaps_detected == 1
+
+    def test_replay_buffer_serves_recent(self):
+        buffer = ReplayBuffer(capacity=4)
+        for seq in range(6):
+            buffer.store(seq, f"msg{seq}")
+        assert buffer.replay(5) == "msg5"
+        assert buffer.replay(0) is None  # evicted
+        assert buffer.replays_served == 1
+        assert buffer.replays_missed == 1
+
+    def test_replay_buffer_capacity_positive(self):
+        with pytest.raises(SimulationError):
+            ReplayBuffer(capacity=0)
+
+    def test_loss_recovery_end_to_end(self, rng):
+        """Lost datagrams are detected by seq gap and replayed."""
+        sim = Simulator()
+        network = Network(sim, default_rate_bps=ETHERNET_100)
+        buffer = ReplayBuffer()
+        received = []
+
+        class Tagged:
+            def __init__(self, seq):
+                self.seq = seq
+
+        def on_gap(missing):
+            for seq in missing:
+                message = buffer.replay(seq)
+                if message is not None:
+                    network.send(
+                        Packet(src="tx", dst="rx", nbytes=100, payload=message)
+                    )
+
+        rx = Endpoint("rx", on_receive=lambda p: received.append(p.payload.seq), on_gap=on_gap)
+        network.attach(rx)
+        # Lossy uplink from the sender.
+        network.attach(Endpoint("tx"), loss_rate=0.3, rng=rng)
+        for seq in range(50):
+            message = Tagged(seq)
+            buffer.store(seq, message)
+            network.send(Packet(src="tx", dst="rx", nbytes=100, payload=message))
+        sim.run()
+        # With 30% loss, substantially more than 70% of messages must
+        # arrive thanks to replay (replays themselves may be lost, and
+        # trailing losses have no later packet to expose them).
+        assert buffer.replays_served > 0
+        assert len(set(received)) >= 38

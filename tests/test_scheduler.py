@@ -1,0 +1,222 @@
+"""Unit tests for the multiprocessor time-share scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.netsim.engine import Simulator
+from repro.server.scheduler import (
+    PeriodicTask,
+    ProfilePlaybackTask,
+    Scheduler,
+    Task,
+)
+
+
+class OneShot(Task):
+    """A task that runs a single burst and records its completion."""
+
+    def __init__(self, name, burst):
+        super().__init__(name)
+        self.burst = burst
+        self.completed_at = None
+        self.elapsed = None
+
+    def start(self):
+        self.scheduler.submit_burst(self, self.burst)
+
+    def on_burst_complete(self, requested, elapsed):
+        self.completed_at = self.scheduler.sim.now
+        self.elapsed = elapsed
+
+
+class TestBasics:
+    def test_invalid_configs(self):
+        sim = Simulator()
+        with pytest.raises(SchedulerError):
+            Scheduler(sim, num_cpus=0)
+        with pytest.raises(SchedulerError):
+            Scheduler(sim, quantum=0)
+
+    def test_single_task_runs_for_its_burst(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        task = sched.spawn(OneShot("t", 0.035))
+        sim.run()
+        assert task.completed_at == pytest.approx(0.035)
+        assert task.cpu_consumed == pytest.approx(0.035)
+
+    def test_double_spawn_rejected(self):
+        sim = Simulator()
+        sched = Scheduler(sim)
+        task = sched.spawn(OneShot("t", 0.01))
+        with pytest.raises(SchedulerError):
+            sched.spawn(task)
+
+    def test_nonpositive_burst_rejected(self):
+        sim = Simulator()
+        sched = Scheduler(sim)
+
+        class Bad(Task):
+            def start(self):
+                self.scheduler.submit_burst(self, 0.0)
+
+            def on_burst_complete(self, requested, elapsed):
+                pass
+
+        with pytest.raises(SchedulerError):
+            sched.spawn(Bad("bad"))
+
+    def test_round_robin_interleaves(self):
+        """Two equal tasks on one CPU finish at ~the same time (fair)."""
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        a = sched.spawn(OneShot("a", 0.05))
+        b = sched.spawn(OneShot("b", 0.05))
+        sim.run()
+        assert abs(a.completed_at - b.completed_at) <= 0.01 + 1e-9
+        assert max(a.completed_at, b.completed_at) == pytest.approx(0.10)
+
+    def test_two_cpus_run_in_parallel(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=2, quantum=0.01, context_switch=0.0)
+        a = sched.spawn(OneShot("a", 0.05))
+        b = sched.spawn(OneShot("b", 0.05))
+        sim.run()
+        assert a.completed_at == pytest.approx(0.05)
+        assert b.completed_at == pytest.approx(0.05)
+
+    def test_context_switch_charged_on_task_change(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.001)
+        a = sched.spawn(OneShot("a", 0.02))
+        b = sched.spawn(OneShot("b", 0.02))
+        sim.run()
+        # 4 quanta + at least 4 switches.
+        assert max(a.completed_at, b.completed_at) >= 0.044 - 1e-9
+
+    def test_no_context_switch_for_continuing_task(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.001)
+        a = sched.spawn(OneShot("a", 0.03))
+        sim.run()
+        # One switch at the start, then the same task continues.
+        assert a.completed_at == pytest.approx(0.031)
+
+    def test_utilization(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=2, quantum=0.01, context_switch=0.0)
+        sched.spawn(OneShot("a", 0.05))
+        sim.run_until(0.1)
+        assert sched.utilization() == pytest.approx(0.25)
+
+
+class TestMemoryModel:
+    def test_no_pressure_within_capacity(self):
+        sim = Simulator()
+        sched = Scheduler(sim, memory_mb=100.0)
+        sched.spawn(OneShot("a", 0.01))
+        assert sched.memory_pressure() == 0.0
+
+    def test_pressure_slows_bursts(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0,
+                          memory_mb=100.0, paging_slowdown=4.0)
+
+        class Heavy(OneShot):
+            pass
+
+        hog = Heavy("hog", 0.01)
+        hog.memory_mb = 150.0
+        sched.spawn(hog)
+        sim.run()
+        # 50% oversubscription * 4.0 slowdown -> 3x burst time.
+        assert hog.completed_at == pytest.approx(0.03)
+
+    def test_disabled_when_zero_capacity(self):
+        sim = Simulator()
+        sched = Scheduler(sim, memory_mb=0.0)
+        t = OneShot("a", 0.01)
+        t.memory_mb = 1e9
+        sched.spawn(t)
+        assert sched.memory_pressure() == 0.0
+
+
+class TestPeriodicTask:
+    def test_unloaded_latency_is_zero(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        yardstick = PeriodicTask(burst=0.03, think=0.15)
+        sched.spawn(yardstick)
+        sim.run_until(5.0)
+        assert yardstick.mean_added_latency() < 1e-6
+        # ~5s / 0.18s per cycle.
+        assert 24 <= len(yardstick.added_latencies) <= 29
+
+    def test_contention_adds_latency(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        yardstick = PeriodicTask(burst=0.03, think=0.15)
+        sched.spawn(yardstick)
+
+        class Spinner(Task):
+            def start(self):
+                self.scheduler.submit_burst(self, 10.0)
+
+            def on_burst_complete(self, requested, elapsed):
+                self.scheduler.submit_burst(self, 10.0)
+
+        sched.spawn(Spinner("hog"))
+        sim.run_until(5.0)
+        assert yardstick.mean_added_latency() > 0.02
+
+    def test_warmup_discards_early_samples(self):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1)
+        yardstick = PeriodicTask(burst=0.03, think=0.15, warmup=2.0)
+        sched.spawn(yardstick)
+        sim.run_until(4.0)
+        # Only samples after t=2 are kept.
+        assert len(yardstick.added_latencies) <= 12
+
+
+class TestProfilePlayback:
+    def test_consumes_roughly_profile_mean(self, rng):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        task = ProfilePlaybackTask(
+            "u", profile_utilization=[0.25] * 100, interval=5.0, rng=rng
+        )
+        sched.spawn(task)
+        sim.run_until(60.0)
+        achieved = task.cpu_consumed / 60.0
+        assert 0.18 < achieved < 0.32
+
+    def test_zero_utilization_intervals_idle(self, rng):
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1)
+        task = ProfilePlaybackTask(
+            "u", profile_utilization=[0.0] * 10, interval=5.0, rng=rng
+        )
+        sched.spawn(task)
+        sim.run_until(20.0)
+        assert task.cpu_consumed == 0.0
+
+    def test_empty_profile_rejected(self, rng):
+        with pytest.raises(SchedulerError):
+            ProfilePlaybackTask("u", profile_utilization=[], rng=rng)
+
+    def test_many_users_oversubscribe(self, rng):
+        """20 users at 25% on one CPU: utilization pegs near 1."""
+        sim = Simulator()
+        sched = Scheduler(sim, num_cpus=1, quantum=0.01, context_switch=0.0)
+        for i in range(20):
+            sched.spawn(
+                ProfilePlaybackTask(
+                    f"u{i}",
+                    profile_utilization=[0.25] * 100,
+                    rng=np.random.default_rng(i),
+                )
+            )
+        sim.run_until(30.0)
+        assert sched.utilization() > 0.9

@@ -1,0 +1,124 @@
+"""Unit tests for authentication, sessions, and smart-card mobility."""
+
+import pytest
+
+from repro.core.session import AuthenticationManager, SessionManager, SmartCard
+from repro.errors import SessionError
+from repro.framebuffer import Rect
+
+
+@pytest.fixture
+def auth():
+    manager = AuthenticationManager()
+    manager.enroll(SmartCard(user="alice", token="alice-token"))
+    manager.enroll(SmartCard(user="bob", token="bob-token"))
+    return manager
+
+
+@pytest.fixture
+def sessions(auth):
+    return SessionManager(auth, display_width=64, display_height=48)
+
+
+class TestAuthentication:
+    def test_valid_card(self, auth):
+        assert auth.authenticate(SmartCard(user="alice", token="alice-token"))
+
+    def test_wrong_token(self, auth):
+        assert not auth.authenticate(SmartCard(user="alice", token="wrong"))
+
+    def test_unknown_user(self, auth):
+        assert not auth.authenticate(SmartCard(user="eve", token="x"))
+
+    def test_revoke(self, auth):
+        auth.revoke("alice")
+        assert not auth.authenticate(SmartCard(user="alice", token="alice-token"))
+
+    def test_revoke_unknown(self, auth):
+        with pytest.raises(SessionError):
+            auth.revoke("nobody")
+
+    def test_reenroll_replaces_token(self, auth):
+        auth.enroll(SmartCard(user="alice", token="new-token"))
+        assert not auth.authenticate(SmartCard(user="alice", token="alice-token"))
+        assert auth.authenticate(SmartCard(user="alice", token="new-token"))
+
+    def test_digest_not_plaintext(self):
+        card = SmartCard(user="x", token="secret")
+        assert "secret" not in card.digest()
+
+    def test_enrolled_users_sorted(self, auth):
+        assert auth.enrolled_users == ["alice", "bob"]
+
+
+class TestSessionLifecycle:
+    def test_attach_creates_session(self, sessions):
+        session = sessions.attach(SmartCard(user="alice", token="alice-token"), "c1")
+        assert session.user == "alice"
+        assert session.console_id == "c1"
+        assert session.framebuffer.bounds == Rect(0, 0, 64, 48)
+
+    def test_attach_bad_card_rejected(self, sessions):
+        with pytest.raises(SessionError):
+            sessions.attach(SmartCard(user="alice", token="bad"), "c1")
+
+    def test_session_persists_across_detach(self, sessions):
+        card = SmartCard(user="alice", token="alice-token")
+        session = sessions.attach(card, "c1")
+        session.framebuffer.fill(Rect(0, 0, 4, 4), (1, 2, 3))
+        sessions.detach("c1")
+        assert not session.attached
+        restored = sessions.attach(card, "c2")
+        assert restored is session
+        assert restored.framebuffer.pixel(0, 0) == (1, 2, 3)
+
+    def test_detach_unknown_console_is_noop(self, sessions):
+        assert sessions.detach("nowhere") is None
+
+    def test_card_pulls_session_from_old_console(self, sessions):
+        card = SmartCard(user="alice", token="alice-token")
+        sessions.attach(card, "c1")
+        session = sessions.attach(card, "c2")
+        assert session.console_id == "c2"
+        assert sessions.session_at("c1") is None
+
+    def test_console_steal_detaches_previous_user(self, sessions):
+        alice = SmartCard(user="alice", token="alice-token")
+        bob = SmartCard(user="bob", token="bob-token")
+        a = sessions.attach(alice, "c1")
+        b = sessions.attach(bob, "c1")
+        assert b.console_id == "c1"
+        assert a.console_id is None
+
+    def test_one_session_per_user(self, sessions):
+        card = SmartCard(user="alice", token="alice-token")
+        s1 = sessions.attach(card, "c1")
+        sessions.detach("c1")
+        s2 = sessions.attach(card, "c1")
+        assert s1 is s2
+        assert len(sessions.all_sessions) == 1
+
+    def test_destroy(self, sessions):
+        card = SmartCard(user="alice", token="alice-token")
+        sessions.attach(card, "c1")
+        sessions.destroy("alice")
+        assert sessions.session_at("c1") is None
+        assert sessions.all_sessions == []
+
+    def test_destroy_unknown(self, sessions):
+        with pytest.raises(SessionError):
+            sessions.destroy("nobody")
+
+    def test_active_sessions(self, sessions):
+        alice = SmartCard(user="alice", token="alice-token")
+        bob = SmartCard(user="bob", token="bob-token")
+        sessions.attach(alice, "c1")
+        sessions.attach(bob, "c2")
+        sessions.detach("c2")
+        active = sessions.active_sessions
+        assert [s.user for s in active] == ["alice"]
+
+    def test_session_ids_unique(self, sessions):
+        a = sessions.session_for("alice")
+        b = sessions.session_for("bob")
+        assert a.session_id != b.session_id

@@ -1,0 +1,75 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.textplot import render_cdf, render_series
+from repro.errors import ReproError
+
+
+class TestRenderCdf:
+    def make(self):
+        return {"a": Cdf([1, 2, 5, 10, 100]), "b": Cdf([3, 30, 300])}
+
+    def test_contains_legend_and_axes(self):
+        text = render_cdf(self.make(), x_label="things")
+        assert "* a" in text and "o b" in text
+        assert "100% |" in text
+        assert "  0% |" in text
+        assert "things" in text
+
+    def test_dimensions(self):
+        text = render_cdf(self.make(), width=40, height=8)
+        plot_rows = [l for l in text.splitlines() if l.endswith("|") or "|" in l]
+        # 8 grid rows plus axis and annotations.
+        assert len([l for l in text.splitlines() if "% |" in l]) == 8
+
+    def test_monotone_nondecreasing_per_series(self):
+        """Each series' glyph column positions rise monotonically with x."""
+        cdf = {"a": Cdf(range(1, 200))}
+        text = render_cdf(cdf, width=30, height=10)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "% |" in l]
+        # Scanning top (100%) to bottom (0%): higher cumulative fractions
+        # occur at larger x, so the leftmost glyph column must not grow.
+        positions = [r.index("*") for r in rows if "*" in r]
+        assert positions == sorted(positions, reverse=True)
+
+    def test_linear_axis(self):
+        text = render_cdf({"a": Cdf([0.0, 1.0, 2.0])}, log_x=False)
+        assert "% |" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_cdf({})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            render_cdf(self.make(), width=4)
+
+    def test_tick_labels_do_not_collide(self):
+        # Samples spanning many decades with a tiny minimum.
+        cdf = {"a": Cdf([0.0001 * (i + 1) for i in range(50)] + [1e6])}
+        text = render_cdf(cdf, width=50)
+        tick_line = text.splitlines()[-3]
+        assert "1e-1e" not in tick_line.replace(" ", "")
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        text = render_series(
+            {"x": [(0, 0.0), (10, 5.0)], "y": [(0, 1.0), (10, 2.0)]},
+            x_label="users",
+            y_label="latency",
+        )
+        assert "* x" in text and "o y" in text
+        assert "x: users" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_series({})
+        with pytest.raises(ReproError):
+            render_series({"a": []})
+
+    def test_flat_series(self):
+        text = render_series({"a": [(0, 0.0), (1, 0.0)]})
+        assert "+---" in text

@@ -1,0 +1,266 @@
+"""Unit tests for the binary wire format and fragmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core import commands as cmd
+from repro.core import wire
+from repro.core.wire import (
+    Datagram,
+    MTU_PAYLOAD,
+    WireCodec,
+    decode_message,
+    encode_message,
+    message_wire_nbytes,
+    pack_bits,
+    unpack_bits,
+)
+from repro.errors import WireFormatError
+from repro.framebuffer import Rect
+
+
+def roundtrip(message):
+    blob = encode_message(message, seq=42)
+    decoded, seq = decode_message(blob)
+    assert seq == 42
+    return decoded
+
+
+class TestBitPacking:
+    def test_roundtrip_various_widths(self, rng):
+        for bits in range(1, 9):
+            values = rng.integers(0, 1 << bits, size=100, dtype=np.uint8)
+            packed = pack_bits(values, bits)
+            assert len(packed) == (100 * bits + 7) // 8
+            out = unpack_bits(packed, 100, bits)
+            assert np.array_equal(out, values)
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(WireFormatError):
+            pack_bits(np.array([8], dtype=np.uint8), 3)
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(WireFormatError):
+            unpack_bits(b"\x00", 100, 4)
+
+    def test_invalid_width(self):
+        with pytest.raises(WireFormatError):
+            pack_bits(np.zeros(4, dtype=np.uint8), 9)
+        with pytest.raises(WireFormatError):
+            unpack_bits(b"\x00", 1, 0)
+
+
+class TestMessageRoundtrips:
+    def test_fill(self):
+        original = cmd.FillCommand(rect=Rect(3, 4, 10, 12), color=(9, 8, 7))
+        assert roundtrip(original) == original
+
+    def test_copy(self):
+        original = cmd.CopyCommand(rect=Rect(10, 20, 30, 40), src_x=5, src_y=6)
+        assert roundtrip(original) == original
+
+    def test_set_pixels_exact(self, rng):
+        rect = Rect(0, 0, 12, 7)
+        data = rng.integers(0, 256, size=(7, 12, 3), dtype=np.uint8)
+        decoded = roundtrip(cmd.SetCommand(rect=rect, data=data))
+        assert decoded.rect == rect
+        assert np.array_equal(decoded.data, data)
+
+    def test_bitmap_exact(self, rng):
+        rect = Rect(2, 2, 19, 5)  # odd width exercises row padding
+        bitmap = rng.random((5, 19)) < 0.3
+        original = cmd.BitmapCommand(
+            rect=rect, fg=(1, 2, 3), bg=(4, 5, 6), bitmap=bitmap
+        )
+        decoded = roundtrip(original)
+        assert decoded.fg == (1, 2, 3)
+        assert decoded.bg == (4, 5, 6)
+        assert np.array_equal(decoded.bitmap, bitmap)
+
+    def test_cscs_payload_preserved(self):
+        rect = Rect(0, 0, 16, 8)
+        payload = bytes(cmd.cscs_plane_bytes(16, 8, 12))
+        original = cmd.CscsCommand(rect=rect, bits_per_pixel=12, payload=payload)
+        decoded = roundtrip(original)
+        assert decoded.bits_per_pixel == 12
+        assert decoded.payload == payload
+
+    def test_key_event(self):
+        assert roundtrip(cmd.KeyEvent(code=0x1234, pressed=True)) == cmd.KeyEvent(
+            code=0x1234, pressed=True
+        )
+
+    def test_mouse_event(self):
+        original = cmd.MouseEvent(x=1279, y=1023, buttons=5)
+        assert roundtrip(original) == original
+
+    def test_audio(self):
+        assert roundtrip(cmd.AudioData(nbytes=100)).nbytes == 100
+
+    def test_status(self):
+        assert roundtrip(cmd.StatusMessage(kind=2, value=99)) == cmd.StatusMessage(
+            kind=2, value=99
+        )
+
+    def test_bandwidth_request_kbps_precision(self):
+        decoded = roundtrip(cmd.BandwidthRequest(client_id=7, bits_per_second=2_000_000))
+        assert decoded.client_id == 7
+        assert decoded.bits_per_second == 2_000_000
+
+    def test_declared_size_matches_encoding(self):
+        messages = [
+            cmd.FillCommand(rect=Rect(0, 0, 5, 5), color=(1, 1, 1)),
+            cmd.CopyCommand(rect=Rect(0, 0, 5, 5), src_x=1, src_y=1),
+            cmd.SetCommand(rect=Rect(0, 0, 5, 5)),
+            cmd.BitmapCommand(rect=Rect(0, 0, 13, 5)),
+            cmd.CscsCommand(rect=Rect(0, 0, 10, 10), bits_per_pixel=8),
+            cmd.KeyEvent(code=1, pressed=False),
+            cmd.MouseEvent(x=1, y=2, buttons=0),
+            cmd.StatusMessage(),
+        ]
+        for message in messages:
+            encoded = encode_message(message, 0)
+            assert len(encoded) == wire.HEADER_BYTES + message.payload_nbytes()
+
+
+class TestDecodeErrors:
+    def test_bad_magic(self):
+        blob = bytearray(encode_message(cmd.StatusMessage(), 0))
+        blob[0:2] = b"XX"
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(encode_message(cmd.StatusMessage(), 0))
+        blob[2] = 99
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(blob))
+
+    def test_unknown_opcode(self):
+        blob = bytearray(encode_message(cmd.StatusMessage(), 0))
+        blob[3] = 200
+        with pytest.raises(WireFormatError):
+            decode_message(bytes(blob))
+
+    def test_truncated_header(self):
+        with pytest.raises(WireFormatError):
+            decode_message(b"SL")
+
+    def test_length_mismatch(self):
+        blob = encode_message(cmd.StatusMessage(), 0)
+        with pytest.raises(WireFormatError):
+            decode_message(blob + b"extra")
+
+    def test_truncated_set_body(self):
+        blob = encode_message(cmd.SetCommand(rect=Rect(0, 0, 4, 4)), 0)
+        truncated = blob[: wire.HEADER_BYTES + 8 + 10]
+        with pytest.raises(WireFormatError):
+            decode_message(
+                truncated[: wire.HEADER_BYTES]
+                .replace(blob[:wire.HEADER_BYTES], blob[:wire.HEADER_BYTES])
+                + truncated[wire.HEADER_BYTES :]
+            )
+
+
+class TestFragmentation:
+    def test_small_message_single_fragment(self):
+        codec = WireCodec()
+        frags = codec.fragment(cmd.FillCommand(rect=Rect(0, 0, 4, 4)))
+        assert len(frags) == 1
+        assert frags[0].count == 1
+
+    def test_large_message_fragments(self):
+        codec = WireCodec()
+        message = cmd.SetCommand(rect=Rect(0, 0, 100, 100))  # 30KB
+        frags = codec.fragment(message)
+        assert len(frags) > 1
+        assert all(len(f.payload) <= MTU_PAYLOAD for f in frags)
+        assert frags[0].count == len(frags)
+
+    def test_sequence_numbers_increase(self):
+        codec = WireCodec()
+        a = codec.fragment(cmd.StatusMessage())
+        b = codec.fragment(cmd.StatusMessage())
+        assert b[0].seq == a[0].seq + 1
+
+    def test_reassembly_in_order(self, rng):
+        tx, rx = WireCodec(), WireCodec()
+        data = rng.integers(0, 256, size=(50, 60, 3), dtype=np.uint8)
+        message = cmd.SetCommand(rect=Rect(0, 0, 60, 50), data=data)
+        frags = tx.fragment(message)
+        results = [rx.accept(f) for f in frags]
+        assert all(r is None for r in results[:-1])
+        decoded, _ = results[-1]
+        assert np.array_equal(decoded.data, data)
+
+    def test_reassembly_out_of_order(self, rng):
+        tx, rx = WireCodec(), WireCodec()
+        data = rng.integers(0, 256, size=(40, 60, 3), dtype=np.uint8)
+        frags = tx.fragment(cmd.SetCommand(rect=Rect(0, 0, 60, 40), data=data))
+        order = rng.permutation(len(frags))
+        result = None
+        for index in order:
+            out = rx.accept(frags[index])
+            if out is not None:
+                result = out
+        assert result is not None
+        assert np.array_equal(result[0].data, data)
+
+    def test_duplicate_fragments_harmless(self):
+        tx, rx = WireCodec(), WireCodec()
+        frags = tx.fragment(cmd.SetCommand(rect=Rect(0, 0, 60, 40)))
+        rx.accept(frags[0])
+        rx.accept(frags[0])  # replayed
+        result = None
+        for f in frags[1:]:
+            out = rx.accept(f)
+            if out is not None:
+                result = out
+        assert result is not None
+
+    def test_interleaved_messages(self):
+        tx, rx = WireCodec(), WireCodec()
+        f1 = tx.fragment(cmd.SetCommand(rect=Rect(0, 0, 60, 40)))
+        f2 = tx.fragment(cmd.SetCommand(rect=Rect(0, 0, 30, 30)))
+        completed = []
+        for pair in zip(f2, f1):
+            for frag in pair:
+                out = rx.accept(frag)
+                if out is not None:
+                    completed.append(out[1])
+        for frag in f1[len(f2):]:
+            out = rx.accept(frag)
+            if out is not None:
+                completed.append(out[1])
+        assert sorted(completed) == [f1[0].seq, f2[0].seq]
+
+    def test_drop_partial(self):
+        tx, rx = WireCodec(), WireCodec()
+        frags = tx.fragment(cmd.SetCommand(rect=Rect(0, 0, 60, 40)))
+        rx.accept(frags[0])
+        assert rx.pending_messages() == 1
+        rx.drop_partial(frags[0].seq)
+        assert rx.pending_messages() == 0
+
+    def test_datagram_serialization(self):
+        d = Datagram(seq=7, index=1, count=3, payload=b"hello")
+        back = Datagram.from_bytes(d.to_bytes())
+        assert back == d
+
+    def test_datagram_bad_indices(self):
+        d = Datagram(seq=7, index=3, count=3, payload=b"x")
+        with pytest.raises(WireFormatError):
+            Datagram.from_bytes(d.to_bytes())
+
+    def test_wire_nbytes_counts_per_datagram_overhead(self):
+        small = cmd.FillCommand(rect=Rect(0, 0, 4, 4))
+        assert message_wire_nbytes(small) == wire.HEADER_BYTES + 11 + 36
+        big = cmd.SetCommand(rect=Rect(0, 0, 100, 100))
+        total = wire.HEADER_BYTES + big.payload_nbytes()
+        ndatagrams = -(-total // MTU_PAYLOAD)
+        assert message_wire_nbytes(big) == total + 36 * ndatagrams
+
+    def test_accounting_only_encoding_has_right_size(self):
+        message = cmd.BitmapCommand(rect=Rect(0, 0, 13, 7))
+        encoded = encode_message(message, 0)
+        assert len(encoded) == wire.HEADER_BYTES + message.payload_nbytes()
