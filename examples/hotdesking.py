@@ -17,7 +17,6 @@ from repro import (
     Console,
     PaintKind,
     PaintOp,
-    Painter,
     Rect,
     SessionManager,
     SlimDriver,
@@ -52,7 +51,6 @@ def main() -> None:
 
     # Attach at console A and do some work.
     session = sessions.attach(card, "console-a")
-    painter = Painter(session.framebuffer)
     driver = SlimDriver(
         encoder=SlimEncoder(materialize=True),
         framebuffer=session.framebuffer,
@@ -64,8 +62,7 @@ def main() -> None:
         PaintOp(PaintKind.IMAGE, Rect(450, 250, 150, 180), seed=8),
     ]
     for op in work:
-        painter.apply(op)
-        driver.update(0.0, [op])
+        driver.update(0.0, [op])  # the driver paints, encodes, and sends
     assert session.framebuffer.equals(console_a.framebuffer)
     print(f"working at {session.console_id}; screen painted")
 
@@ -75,7 +72,6 @@ def main() -> None:
 
     # More work happens while the user walks (a build finishes, say).
     op = PaintOp(PaintKind.TEXT, Rect(30, 260, 300, 100), seed=9, char_count=200)
-    painter.apply(op)
     driver.update(1.0, [op])
 
     # Insert the card at console B.

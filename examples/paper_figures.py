@@ -9,7 +9,6 @@ Run:  python examples/paper_figures.py      (~1 minute)
 """
 
 from repro.analysis.textplot import render_cdf, render_series
-from repro.experiments import userstudy
 from repro.experiments.fig2 import frequency_cdfs
 from repro.experiments.fig3 import pixel_cdfs
 from repro.experiments.fig5 import bytes_cdfs

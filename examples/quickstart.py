@@ -15,7 +15,6 @@ from repro import (
     FrameBuffer,
     PaintKind,
     PaintOp,
-    Painter,
     Rect,
     SlimDriver,
     SlimEncoder,
@@ -28,7 +27,6 @@ WIDTH, HEIGHT = 640, 480
 def main() -> None:
     # Server side: the authoritative framebuffer and the virtual driver.
     server_fb = FrameBuffer(WIDTH, HEIGHT)
-    painter = Painter(server_fb)
 
     # Console side: a dumb frame buffer fed by the wire codec.
     console = Console(WIDTH, HEIGHT, record_service_times=True)
@@ -70,8 +68,7 @@ def main() -> None:
         ),
     ]
     for op in desktop:
-        painter.apply(op)
-        driver.update(0.0, [op])
+        driver.update(0.0, [op])  # the driver paints, encodes, and sends
 
     # The console now holds exactly the server's pixels.
     match = server_fb.equals(console.framebuffer)

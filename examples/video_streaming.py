@@ -12,13 +12,12 @@ Run:  python examples/video_streaming.py
 
 import numpy as np
 
-from repro.core.bandwidth import BandwidthAllocator
 from repro.core.video import StreamGeometry, VideoStream
 from repro.console import Console
 from repro.framebuffer import Rect
 from repro.framebuffer.yuv import psnr
-from repro.units import ETHERNET_100, MBPS
-from repro.workloads.video import MPEG2_CLIP, VideoClip, VideoSourceSpec
+from repro.units import MBPS
+from repro.workloads.video import VideoClip, VideoSourceSpec
 
 SRC = VideoSourceSpec("clip", 320, 240, native_fps=24.0, decode_s_per_frame=0.01)
 N_FRAMES = 12

@@ -16,6 +16,8 @@ The package implements the complete SLIM system in simulation:
 * :mod:`repro.loadgen` — trace playback and yardstick applications.
 * :mod:`repro.analysis` — traces, CDFs, statistics.
 * :mod:`repro.monitor` — the Section 6.3 case studies.
+* :mod:`repro.telemetry` — zero-dependency metrics + tracing for the
+  reproduction's own hot paths (off by default).
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quick start::
@@ -30,8 +32,7 @@ Quick start::
         send=lambda c: console.enqueue(c),
     )
     op = PaintOp(PaintKind.FILL, Rect(0, 0, 1280, 1024), color=(32, 32, 64))
-    Painter(fb).apply(op)
-    driver.update(0.0, [op])
+    driver.update(0.0, [op])  # paints, encodes, and sends
 """
 
 from repro.errors import (
@@ -75,6 +76,7 @@ from repro.core import (
 from repro.console import Console, MicroOpModel
 from repro.server import SlimDriver, Scheduler, ServerHost
 from repro.netsim import Simulator, Network, Endpoint, Packet
+from repro.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.workloads import BENCHMARK_APPS, UserSession, run_user_study
 
 __version__ = "1.0.0"
@@ -121,6 +123,9 @@ __all__ = [
     "Network",
     "Endpoint",
     "Packet",
+    "MetricsRegistry",
+    "get_registry",
+    "use_registry",
     "BENCHMARK_APPS",
     "UserSession",
     "run_user_study",

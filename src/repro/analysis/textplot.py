@@ -9,7 +9,7 @@ matplotlib dependency).  Used by ``examples/paper_figures.py``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.analysis.cdf import Cdf

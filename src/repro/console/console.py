@@ -35,7 +35,11 @@ from repro.framebuffer.framebuffer import FrameBuffer
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.units import ETHERNET_100
+
+#: Command-queue occupancy buckets (the Sun Ray buffers a few hundred).
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 TimingModel = Union[MicroOpModel, ConsoleCostModel]
 
@@ -68,6 +72,8 @@ class Console:
             queued commands is generous.
         link_rate_bps: Capacity advertised to the bandwidth allocator.
         record_service_times: Keep per-command service times (Figure 7).
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class Console:
         queue_limit: int = 512,
         link_rate_bps: float = ETHERNET_100,
         record_service_times: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.framebuffer = FrameBuffer(width, height)
         self.timing = timing if timing is not None else MicroOpModel()
@@ -97,6 +104,28 @@ class Console:
         self.on_input: Optional[Callable[[cmd.Command], None]] = None
         #: Virtual clock used when running stand-alone (no simulator).
         self.virtual_time = 0.0
+        self._metrics = registry if registry is not None else get_registry()
+        if self._metrics.enabled:
+            m = self._metrics
+            self._m_dropped = m.counter("console.decode.dropped", console=address)
+            self._m_queue_depth = m.histogram(
+                "console.queue.depth", buckets=QUEUE_DEPTH_BUCKETS, console=address
+            )
+            self._m_service = m.histogram(
+                "console.decode.service_seconds", console=address
+            )
+
+    def _record_decode(self, command: cmd.Command, service: float) -> None:
+        """Telemetry for one decoded command (per-opcode count + cost)."""
+        m = self._metrics
+        opcode = (
+            command.opcode.name
+            if isinstance(command, cmd.DisplayCommand)
+            else type(command).__name__
+        )
+        m.counter("console.decode.count", opcode=opcode).inc()
+        m.counter("console.decode.seconds", opcode=opcode).inc(service)
+        self._m_service.observe(service)
 
     # ------------------------------------------------------------------
     # Stand-alone operation (calibration probes, fidelity tests).
@@ -121,6 +150,8 @@ class Console:
         self.virtual_time += service
         if self.record_service_times and isinstance(command, cmd.DisplayCommand):
             self.stats.service_times.append(service)
+        if self._metrics.enabled:
+            self._record_decode(command, service)
         return service
 
     def offered_rate_sustainable(
@@ -161,11 +192,17 @@ class Console:
         if not isinstance(command, cmd.DisplayCommand):
             # Input echoes / status: negligible handling cost, no queue.
             self.stats.commands_processed += 1
+            if self._metrics.enabled:
+                self._record_decode(command, 0.0)
             return True
         if len(self._queue) >= self.queue_limit:
             self.stats.commands_dropped += 1
+            if self._metrics.enabled:
+                self._m_dropped.inc()
             return False
         self._queue.append(command)
+        if self._metrics.enabled:
+            self._m_queue_depth.observe(len(self._queue))
         self._maybe_start_decode()
         return True
 
@@ -189,6 +226,8 @@ class Console:
             self.stats.busy_time += service
             if self.record_service_times:
                 self.stats.service_times.append(service)
+            if self._metrics.enabled:
+                self._record_decode(command, service)
             self._decoding = False
             self._maybe_start_decode()
 

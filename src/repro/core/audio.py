@@ -16,8 +16,8 @@ model here follows the common 8 kHz, 16-bit mono telephony default with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.errors import ProtocolError
 from repro.core.commands import AudioData

@@ -14,7 +14,6 @@ kept in exact agreement (asserted by tests).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

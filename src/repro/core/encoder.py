@@ -23,7 +23,7 @@ DESIGN.md) switch individual commands off via :class:`EncoderConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -32,8 +32,9 @@ from repro.errors import ProtocolError
 from repro.core import commands as cmd
 from repro.core import cscs_codec
 from repro.framebuffer.framebuffer import FrameBuffer
-from repro.framebuffer.painter import PaintKind, PaintOp, synth_glyph_bitmap
+from repro.framebuffer.painter import PaintKind, PaintOp
 from repro.framebuffer.regions import Rect, tile_rect
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -67,15 +68,19 @@ class SlimEncoder:
         materialize: When True, commands carry real payloads read from (or
             synthesised consistently with) the server framebuffer.  When
             False, commands carry geometry only; wire sizes are identical.
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
         self,
         config: Optional[EncoderConfig] = None,
         materialize: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or EncoderConfig()
         self.materialize = materialize
+        self._metrics = registry if registry is not None else get_registry()
 
     # ------------------------------------------------------------------
     # Device-driver path: the op itself tells us the structure.
@@ -93,16 +98,28 @@ class SlimEncoder:
         if self.materialize and framebuffer is None and op.kind is not PaintKind.COPY:
             raise ProtocolError("materializing encoder needs the framebuffer")
         if op.kind is PaintKind.FILL:
-            return self._encode_fill(op, framebuffer)
-        if op.kind is PaintKind.TEXT:
-            return self._encode_text(op, framebuffer)
-        if op.kind is PaintKind.IMAGE:
-            return self._encode_image(op, framebuffer)
-        if op.kind is PaintKind.COPY:
-            return self._encode_copy(op, framebuffer)
-        if op.kind is PaintKind.VIDEO:
-            return self._encode_video(op, framebuffer)
-        raise ProtocolError(f"unknown paint kind {op.kind!r}")
+            out = self._encode_fill(op, framebuffer)
+        elif op.kind is PaintKind.TEXT:
+            out = self._encode_text(op, framebuffer)
+        elif op.kind is PaintKind.IMAGE:
+            out = self._encode_image(op, framebuffer)
+        elif op.kind is PaintKind.COPY:
+            out = self._encode_copy(op, framebuffer)
+        elif op.kind is PaintKind.VIDEO:
+            out = self._encode_video(op, framebuffer)
+        else:
+            raise ProtocolError(f"unknown paint kind {op.kind!r}")
+        if self._metrics.enabled:
+            self._count_commands(out)
+        return out
+
+    def _count_commands(self, commands: List[cmd.DisplayCommand]) -> None:
+        """Per-opcode emission counters (commands + affected pixels)."""
+        m = self._metrics
+        for command in commands:
+            name = command.opcode.name
+            m.counter("encoder.commands", opcode=name).inc()
+            m.counter("encoder.pixels", opcode=name).inc(command.pixels)
 
     def encode_ops(
         self,

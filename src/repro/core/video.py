@@ -15,7 +15,7 @@ application programmer".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 

@@ -1,22 +1,33 @@
 """One module per paper table/figure, plus the multimedia experiments.
 
-Every experiment module exposes a ``run(...)`` returning an
+Every experiment module exposes a ``run(...)`` decorated with
+:func:`~repro.experiments.runner.experiment`; it takes an optional
+:class:`~repro.experiments.runner.ExperimentConfig` (plus keyword
+overrides), returns an
 :class:`~repro.experiments.runner.ExperimentResult`, and registers itself
 with the runner so ``python -m repro.experiments`` regenerates the whole
 evaluation section.
 """
 
 from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentConfig,
     ExperimentResult,
+    ExperimentSpec,
     REGISTRY,
+    experiment,
     register,
     run_all,
     render_table,
 )
 
 __all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentSpec",
     "REGISTRY",
+    "experiment",
     "register",
     "run_all",
     "render_table",

@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro.experiments              # every table and figure
-    python -m repro.experiments fig9 fig11   # a subset
-    python -m repro.experiments --list       # what's available
+    python -m repro.experiments                    # every table and figure
+    python -m repro.experiments fig9 fig11         # a subset
+    python -m repro.experiments --list             # what's available
+    python -m repro.experiments --metrics table4   # + telemetry report
 """
 
 from __future__ import annotations
@@ -32,7 +33,13 @@ from repro.experiments import (  # noqa: F401
     table4,
     table5,
 )
-from repro.experiments.runner import REGISTRY, render_table
+from repro.experiments.runner import EXPERIMENTS, ExperimentConfig, render_table
+from repro.telemetry import (
+    MetricsRegistry,
+    render_json,
+    render_report,
+    use_registry,
+)
 
 
 def main(argv=None) -> int:
@@ -47,31 +54,83 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="also write the results as a markdown report",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry during the runs and print a report",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the collected telemetry as JSON (implies --metrics)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root RNG seed override"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated-seconds override (where applicable)",
+    )
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=None,
+        help="simulated-user-count override (where applicable)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
-        for experiment_id in REGISTRY:
-            print(experiment_id)
+        for spec in EXPERIMENTS.values():
+            section = f"§{spec.section}" if spec.section else ""
+            print(f"{spec.experiment_id:<12} {section:<8} {spec.title}")
         return 0
 
-    selected = args.ids or list(REGISTRY)
-    unknown = [i for i in selected if i not in REGISTRY]
+    selected = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in selected if i not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    collect = args.metrics or args.metrics_json is not None
+    registry = MetricsRegistry() if collect else None
+    config = ExperimentConfig(
+        seed=args.seed,
+        duration=args.duration,
+        n_users=args.users,
+        registry=registry,
+    )
+
     results = []
-    for experiment_id in selected:
-        started = time.time()
-        result = REGISTRY[experiment_id]()
-        results.append(result)
-        print(render_table(result))
-        print(f"  ({time.time() - started:.1f}s)")
-        print()
+    with use_registry(registry) if collect else _null_context():
+        for experiment_id in selected:
+            started = time.time()
+            result = EXPERIMENTS[experiment_id].runner(config)
+            results.append(result)
+            print(render_table(result))
+            print(f"  ({time.time() - started:.1f}s)")
+            print()
+
+    if registry is not None:
+        print(render_report(registry, title="telemetry report"))
+        if args.metrics_json:
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                fh.write(render_json(registry))
+            print(f"telemetry JSON written to {args.metrics_json}")
     if args.markdown:
         from repro.experiments.report import write_report
 
         path = write_report(results, args.markdown)
         print(f"markdown report written to {path}")
     return 0
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
 
 
 if __name__ == "__main__":

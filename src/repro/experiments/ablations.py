@@ -20,7 +20,7 @@ way it is:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -30,7 +30,11 @@ from repro.core.bandwidth import BandwidthAllocator
 from repro.core.encoder import EncoderConfig, SlimEncoder
 from repro.core.wire import message_wire_nbytes
 from repro.core import cscs_codec
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.framebuffer.framebuffer import FrameBuffer
 from repro.framebuffer.painter import Painter, synth_video_frame
@@ -274,7 +278,8 @@ def mtu_ablation(update_nbytes: int = 50_000) -> List[Tuple[int, float]]:
     return rows
 
 
-def run() -> ExperimentResult:
+@experiment("ablations", title="Design-choice ablations", section="design")
+def run(config: ExperimentConfig) -> ExperimentResult:
     rows = []
     for name, nbytes in encoder_ablation():
         rows.append({"ablation": "encoder", "case": name, "value": f"{nbytes / 1000:.1f} KB/update"})
@@ -346,5 +351,3 @@ def run() -> ExperimentResult:
         ],
     )
 
-
-register("ablations", run)

@@ -12,9 +12,13 @@ processor*.  The paper's findings:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.experiments.fig9 import yardstick_latency
 from repro.workloads.apps import NETSCAPE
@@ -47,7 +51,13 @@ def scaling_surface(
     return surface
 
 
-def run(sim_seconds: float = 60.0) -> ExperimentResult:
+@experiment(
+    "fig10",
+    title="Netscape yardstick latency vs users per CPU (1-8 CPUs)",
+    section="6.1",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    sim_seconds = config.get("duration", 60.0)
     surface = scaling_surface(sim_seconds=sim_seconds)
     rows = []
     for cpus, curve in surface.items():
@@ -66,5 +76,3 @@ def run(sim_seconds: float = 60.0) -> ExperimentResult:
         ],
     )
 
-
-register("fig10", run)

@@ -28,7 +28,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern
 from repro.loadgen.yardstick import NetworkYardstick
@@ -157,7 +161,13 @@ def users_at_rtt(
     return None
 
 
-def run(sim_seconds: float = DEFAULT_SIM_SECONDS) -> ExperimentResult:
+@experiment(
+    "fig11",
+    title="Network yardstick RTT vs active users on a shared IF",
+    section="6.2",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    sim_seconds = config.get("duration", DEFAULT_SIM_SECONDS)
     rows = []
     for name, app in BENCHMARK_APPS.items():
         _traces, profiles = userstudy.get_study(app)
@@ -188,5 +198,3 @@ def run(sim_seconds: float = DEFAULT_SIM_SECONDS) -> ExperimentResult:
         ],
     )
 
-
-register("fig11", run)

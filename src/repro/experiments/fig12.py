@@ -14,7 +14,11 @@ Reproduces the Section 6.3 case studies with the diurnal site models in
 
 from __future__ import annotations
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.monitor.casestudy import (
     ENGINEERING_GROUP,
     UNIVERSITY_LAB,
@@ -22,7 +26,13 @@ from repro.monitor.casestudy import (
 )
 
 
-def run(seed: int = 3) -> ExperimentResult:
+@experiment(
+    "fig12",
+    title="Day-long CPU / network / user profiles of two installations",
+    section="6.3",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    seed = config.get("seed", 3)
     rows = []
     for site in (UNIVERSITY_LAB, ENGINEERING_GROUP):
         day = simulate_day(site, seed=seed)
@@ -48,5 +58,3 @@ def run(seed: int = 3) -> ExperimentResult:
         ],
     )
 
-
-register("fig12", run)

@@ -13,10 +13,14 @@ headline observations, asserted by the tests:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 
 
@@ -35,7 +39,9 @@ def frequency_cdfs(
     return cdfs
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig2", title="CDF of user input event frequency", section="4.2")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = frequency_cdfs(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, cdf in cdfs.items():
@@ -59,5 +65,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig2", run)

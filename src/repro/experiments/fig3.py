@@ -13,10 +13,14 @@ observations:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.units import DISPLAY_PIXELS
 
@@ -36,7 +40,9 @@ def pixel_cdfs(
     return cdfs
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig3", title="CDF of pixels changed per user input event", section="4.2")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = pixel_cdfs(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, cdf in cdfs.items():
@@ -61,5 +67,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig3", run)

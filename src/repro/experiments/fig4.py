@@ -14,9 +14,13 @@ broken down by command type.  Headline observations:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 
 
@@ -51,7 +55,9 @@ def command_breakdown(
     return out
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig4", title="Efficiency of SLIM protocol display commands", section="4.2")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     data = command_breakdown(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, entry in data.items():
@@ -83,5 +89,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig4", run)

@@ -12,10 +12,14 @@ delay".  Headline observations:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.units import ETHERNET_100, transmission_delay
 
@@ -35,7 +39,9 @@ def bytes_cdfs(
     return cdfs
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig5", title="CDF of SLIM protocol data transmitted per input event", section="4.2")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = bytes_cdfs(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, cdf in cdfs.items():
@@ -62,5 +68,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig5", run)

@@ -22,13 +22,17 @@ Headline observations:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.cdf import Cdf
 from repro.core.wire import IP_UDP_HEADER_BYTES, FRAGMENT_HEADER_BYTES, MTU_PAYLOAD
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.units import ETHERNET_100, KBPS, MBPS
 from repro.workloads.apps import NETSCAPE
@@ -123,7 +127,9 @@ def added_delay_cdfs(
     return cdfs
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig6", title="Added packet delays for Netscape traces on slower networks", section="5.4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = added_delay_cdfs(n_users=n_users or 4)
     rows = []
     for name, cdf in cdfs.items():
@@ -149,5 +155,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig6", run)

@@ -10,10 +10,14 @@ the very large updates for which human tolerance is higher.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 
 
@@ -32,7 +36,9 @@ def service_time_cdfs(
     return cdfs
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig7", title="CDF of display update service times on the console", section="4.3")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = service_time_cdfs(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, cdf in cdfs.items():
@@ -55,5 +61,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig7", run)

@@ -15,11 +15,15 @@ averages are compared.  Headline observations:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.units import MBPS
 
@@ -42,7 +46,9 @@ def bandwidth_table(
     return out
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("fig8", title="Average bandwidth: X vs SLIM vs raw pixels", section="4.4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     table = bandwidth_table(n_users=n_users or userstudy.DEFAULT_N_USERS)
     rows = []
     for name, bw in table.items():
@@ -66,5 +72,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("fig8", run)

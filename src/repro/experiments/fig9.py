@@ -19,7 +19,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.experiments import userstudy
 from repro.loadgen.yardstick import CPU_YARDSTICK_BURST, CPU_YARDSTICK_THINK
 from repro.netsim.engine import Simulator
@@ -136,7 +140,9 @@ PAPER_RANGES = {
 }
 
 
-def run(sim_seconds: float = DEFAULT_SIM_SECONDS) -> ExperimentResult:
+@experiment("fig9", title="Yardstick added latency vs active users (1 CPU)", section="6.1")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    sim_seconds = config.get("duration", DEFAULT_SIM_SECONDS)
     rows = []
     for name, app in BENCHMARK_APPS.items():
         curve = latency_curve(app, DEFAULT_SWEEPS[name], sim_seconds=sim_seconds)
@@ -162,5 +168,3 @@ def run(sim_seconds: float = DEFAULT_SIM_SECONDS) -> ExperimentResult:
         ],
     )
 
-
-register("fig9", run)

@@ -20,12 +20,16 @@ stage here and documented wherever reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.commands import CscsCommand
 from repro.core.costs import ConsoleCostModel
 from repro.core.video import StreamGeometry
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.framebuffer.regions import Rect
 from repro.units import ETHERNET_100, MBPS
 from repro.workloads.quake import (
@@ -34,7 +38,7 @@ from repro.workloads.quake import (
     QUAKE_THREE_QUARTER,
     QuakeConfig,
 )
-from repro.workloads.video import MPEG2_CLIP, NTSC_LIVE, VideoSourceSpec
+from repro.workloads.video import MPEG2_CLIP, NTSC_LIVE
 
 #: Sustained-stream discount on CSCS per-pixel console cost (see module
 #: docstring).
@@ -197,7 +201,12 @@ def quake_pipeline(
     )
 
 
-def run() -> ExperimentResult:
+@experiment(
+    "multimedia",
+    title="Section 7: MPEG-II, live NTSC, and Quake over SLIM",
+    section="7",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
     cases: List[Tuple[PipelineResult, str]] = [
         (mpeg2_pipeline(), "20Hz, ~40Mbps, server-bound"),
         (mpeg2_pipeline(interlace=True), "30Hz at ~half bandwidth"),
@@ -232,5 +241,3 @@ def run() -> ExperimentResult:
         ],
     )
 
-
-register("multimedia", run)

@@ -1,4 +1,4 @@
-"""Experiment registry and plain-text rendering.
+"""Experiment registry, typed run configuration, and plain-text rendering.
 
 Each experiment module produces an :class:`ExperimentResult`: an
 identifier matching the paper (``table4``, ``fig9``, ...), a set of rows
@@ -6,14 +6,34 @@ identifier matching the paper (``table4``, ``fig9``, ...), a set of rows
 paper-vs-measured comparison.  ``python -m repro.experiments`` runs the
 registered set and prints each as a text table — the reproduction of the
 paper's evaluation section.
+
+Experiments register themselves with the :func:`experiment` decorator and
+receive a typed :class:`ExperimentConfig` carrying the common knobs
+(seed, duration, number of simulated users, telemetry registry)::
+
+    @experiment("fig9", title="Interactive latency under CPU load",
+                section="6.1")
+    def run(config: ExperimentConfig) -> ExperimentResult:
+        sim_seconds = config.get("duration", DEFAULT_SIM_SECONDS)
+        ...
+
+The decorated ``run`` stays directly callable — ``run()``,
+``run(config)``, and keyword overrides like ``run(seed=5)`` all work; the
+overrides are folded into the config.  The pre-decorator API
+(:func:`register` plus the ``REGISTRY`` dict of zero-argument callables)
+is kept as a deprecated shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import functools
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -38,25 +58,206 @@ class ExperimentResult:
         return [row[key] for row in self.rows if key in row]
 
 
-#: Registered experiments: id -> zero-argument runner returning a result.
-REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+#: Typed fields of :class:`ExperimentConfig`; everything else lands in
+#: ``extra``.
+_TYPED_FIELDS = ("seed", "duration", "n_users", "registry")
+#: Legacy keyword spellings still accepted by experiment wrappers.
+_KEYWORD_ALIASES = {"sim_seconds": "duration"}
 
 
-def register(experiment_id: str, runner: Callable[[], ExperimentResult]) -> None:
-    """Register an experiment's default-configuration runner."""
-    if experiment_id in REGISTRY:
-        raise ReproError(f"experiment {experiment_id!r} already registered")
-    REGISTRY[experiment_id] = runner
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Common knobs shared by every experiment.
+
+    A field left at ``None`` means "use the experiment's published
+    default" — the defaults that reproduce the paper's numbers live in
+    the experiment modules, not here.
+
+    Attributes:
+        seed: Root RNG seed for the simulated user population.
+        duration: Simulated seconds to run (where applicable).
+        n_users: Number of simulated users / sessions.
+        registry: Telemetry sink threaded through to instrumented
+            components; ``None`` defers to the process-global registry.
+        extra: Experiment-specific keyword overrides (e.g. ``suite=``
+            for table4).
+    """
+
+    seed: Optional[int] = None
+    duration: Optional[float] = None
+    n_users: Optional[int] = None
+    registry: Optional[MetricsRegistry] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str, default: object = None) -> object:
+        """A field or extra override by name, or ``default`` if unset."""
+        if name in _TYPED_FIELDS:
+            value = getattr(self, name)
+            return default if value is None else value
+        return self.extra.get(name, default)
+
+    def resolved_registry(self) -> MetricsRegistry:
+        """The telemetry sink to use: explicit, else the global one."""
+        return self.registry if self.registry is not None else get_registry()
+
+    def with_overrides(self, **overrides: object) -> "ExperimentConfig":
+        """A copy with keyword overrides folded in (aliases resolved)."""
+        if not overrides:
+            return self
+        typed: Dict[str, object] = {}
+        extra = dict(self.extra)
+        for key, value in overrides.items():
+            if key in _KEYWORD_ALIASES:
+                canonical = _KEYWORD_ALIASES[key]
+                warnings.warn(
+                    f"keyword {key!r} is deprecated; use {canonical!r}",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                key = canonical
+            if key in _TYPED_FIELDS:
+                typed[key] = value
+            else:
+                extra[key] = value
+        return replace(self, extra=extra, **typed)
 
 
-def run_all(ids: Optional[Sequence[str]] = None) -> List[ExperimentResult]:
+def _coerce_config(
+    config: Optional[ExperimentConfig], overrides: Dict[str, object]
+) -> ExperimentConfig:
+    if config is None:
+        config = ExperimentConfig()
+    elif not isinstance(config, ExperimentConfig):
+        raise ReproError(
+            f"expected ExperimentConfig, got {type(config).__name__}; "
+            "pass knobs as keywords (e.g. run(seed=5))"
+        )
+    return config.with_overrides(**overrides)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: identity plus its config-taking runner."""
+
+    experiment_id: str
+    title: str
+    section: Optional[str]
+    runner: Callable[..., ExperimentResult]
+
+    def __call__(
+        self, config: Optional[ExperimentConfig] = None, **overrides: object
+    ) -> ExperimentResult:
+        return self.runner(config, **overrides)
+
+
+#: Registered experiments, in registration order.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def _register_spec(spec: ExperimentSpec) -> None:
+    if spec.experiment_id in EXPERIMENTS:
+        raise ReproError(
+            f"experiment {spec.experiment_id!r} already registered"
+        )
+    EXPERIMENTS[spec.experiment_id] = spec
+
+
+def experiment(
+    experiment_id: str, *, title: str = "", section: Optional[str] = None
+) -> Callable[[Callable[[ExperimentConfig], ExperimentResult]], Callable]:
+    """Register an experiment runner.
+
+    The decorated function takes one :class:`ExperimentConfig` argument;
+    the returned wrapper additionally accepts keyword overrides that are
+    folded into the config, so existing call sites like ``run(seed=5)``
+    keep working.
+    """
+
+    def decorate(fn: Callable[[ExperimentConfig], ExperimentResult]):
+        @functools.wraps(fn)
+        def wrapper(
+            config: Optional[ExperimentConfig] = None, **overrides: object
+        ) -> ExperimentResult:
+            return fn(_coerce_config(config, overrides))
+
+        spec = ExperimentSpec(
+            experiment_id=experiment_id,
+            title=title or (fn.__doc__ or experiment_id).strip().splitlines()[0],
+            section=section,
+            runner=wrapper,
+        )
+        _register_spec(spec)
+        wrapper.spec = spec
+        return wrapper
+
+    return decorate
+
+
+class _RegistryView(Mapping):
+    """Deprecated dict-shaped view of :data:`EXPERIMENTS`.
+
+    Pre-decorator code looked experiments up as ``REGISTRY[id]()``; each
+    value here is the experiment's wrapper, which still runs with no
+    arguments, so that idiom keeps working.
+    """
+
+    def __getitem__(self, key: str) -> Callable[..., ExperimentResult]:
+        return EXPERIMENTS[key].runner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(EXPERIMENTS)
+
+    def __len__(self) -> int:
+        return len(EXPERIMENTS)
+
+
+REGISTRY = _RegistryView()
+
+
+def register(
+    experiment_id: str, runner: Callable[[], ExperimentResult]
+) -> None:
+    """Deprecated: register a zero-argument runner.
+
+    Use the :func:`experiment` decorator instead; it provides the typed
+    config and keyword-override handling.
+    """
+    warnings.warn(
+        "register() is deprecated; use the @experiment decorator",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+    def wrapper(
+        config: Optional[ExperimentConfig] = None, **overrides: object
+    ) -> ExperimentResult:
+        # Legacy runners take no arguments; config knobs cannot reach
+        # them, so overrides are accepted (for API uniformity) but
+        # ignored.
+        return runner()
+
+    _register_spec(
+        ExperimentSpec(
+            experiment_id=experiment_id,
+            title=experiment_id,
+            section=None,
+            runner=wrapper,
+        )
+    )
+
+
+def run_all(
+    ids: Optional[Sequence[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> List[ExperimentResult]:
     """Run registered experiments (all, or the named subset) in order."""
-    selected = list(REGISTRY) if ids is None else list(ids)
+    selected = list(EXPERIMENTS) if ids is None else list(ids)
     results = []
     for experiment_id in selected:
-        if experiment_id not in REGISTRY:
+        spec = EXPERIMENTS.get(experiment_id)
+        if spec is None:
             raise ReproError(f"unknown experiment {experiment_id!r}")
-        results.append(REGISTRY[experiment_id]())
+        results.append(spec.runner(config))
     return results
 
 

@@ -11,11 +11,15 @@ classifies each bandwidth level.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.fig6 import BANDWIDTHS, added_delay_cdfs
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.fig6 import added_delay_cdfs
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 from repro.units import PERCEPTION_HIGH, PERCEPTION_LOW
 
 
@@ -53,7 +57,9 @@ def verdicts(n_users: int = 4) -> Dict[str, str]:
     }
 
 
-def run(n_users: Optional[int] = None) -> ExperimentResult:
+@experiment("scalability", title="Section 5.4: protocol scalability to lower bandwidths", section="5.4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_users = config.n_users
     cdfs = added_delay_cdfs(n_users=n_users or 4)
     rows = []
     for name, cdf in cdfs.items():
@@ -80,5 +86,3 @@ def run(n_users: Optional[int] = None) -> ExperimentResult:
         ],
     )
 
-
-register("scalability", run)

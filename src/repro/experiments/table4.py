@@ -16,16 +16,21 @@ Rows 2-3 — x11perf / Xmark93 with and without transmitting display data
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.core import commands as cmd
 from repro.core.wire import WireCodec
 from repro.console.console import Console
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
+from repro.framebuffer.painter import PaintKind, PaintOp
 from repro.framebuffer.regions import Rect
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint, Network
+from repro.server.slimdriver import SlimDriver
 from repro.server.xserver import XPerfSuite
 from repro.units import ETHERNET_100, MICROSECOND, MILLISECOND
 
@@ -55,22 +60,32 @@ def run_echo(app_seconds: float = ECHO_APP_SECONDS) -> EchoRun:
     codec = WireCodec()
     timings = {}
 
+    def send_command(command: cmd.DisplayCommand) -> None:
+        for datagram in codec.fragment(command):
+            network.send(
+                Packet(
+                    src="server",
+                    dst="console",
+                    nbytes=datagram.wire_nbytes,
+                    payload=datagram,
+                )
+            )
+
+    # The server side of the echo is the real driver path: the glyph
+    # render arrives as a TEXT paint op and the (accounting-only)
+    # SlimDriver encodes it to the same one-cell BITMAP the paper's
+    # driver emits.
+    driver = SlimDriver(track_baselines=False, send=send_command)
+
     def on_server_packet(packet: Packet) -> None:
         timings["server_rx"] = sim.now
 
         def respond() -> None:
             timings["server_tx"] = sim.now
-            # Echo one 7x13 character cell as a BITMAP command.
-            echo = cmd.BitmapCommand(rect=Rect(100, 100, 7, 13))
-            for datagram in codec.fragment(echo):
-                network.send(
-                    Packet(
-                        src="server",
-                        dst="console",
-                        nbytes=datagram.wire_nbytes,
-                        payload=datagram,
-                    )
-                )
+            # Echo one 7x13 character cell (a BITMAP on the wire).
+            driver.update(
+                sim.now, [PaintOp(PaintKind.TEXT, Rect(100, 100, 7, 13))]
+            )
 
         sim.schedule(app_seconds, respond)
 
@@ -104,11 +119,14 @@ def run_echo(app_seconds: float = ECHO_APP_SECONDS) -> EchoRun:
     )
 
 
-def run(suite: Optional[XPerfSuite] = None) -> ExperimentResult:
+@experiment(
+    "table4", title="Stand-alone benchmarks for the Sun Ray 1", section="4.1"
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
     """Produce the Table 4 reproduction."""
     echo = run_echo()
     emacs = run_echo(app_seconds=EMACS_APP_SECONDS)
-    suite = suite or XPerfSuite()
+    suite = config.get("suite") or XPerfSuite()
     result = ExperimentResult(
         experiment_id="table4",
         title="Stand-alone benchmarks for the Sun Ray 1",
@@ -145,5 +163,3 @@ def run(suite: Optional[XPerfSuite] = None) -> ExperimentResult:
     )
     return result
 
-
-register("table4", run)

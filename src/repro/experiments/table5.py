@@ -9,10 +9,19 @@ published table.  See :mod:`repro.console.calibration`.
 from __future__ import annotations
 
 from repro.console.calibration import calibrate, calibration_report
-from repro.experiments.runner import ExperimentResult, register
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
 
 
-def run() -> ExperimentResult:
+@experiment(
+    "table5",
+    title="Sun Ray 1 protocol processing costs (probe + linear fit)",
+    section="4.3",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
     results = calibrate()
     rows = []
     for name, fit_startup, fit_slope, ref_startup, ref_slope in calibration_report(results):
@@ -36,5 +45,3 @@ def run() -> ExperimentResult:
         ],
     )
 
-
-register("table5", run)

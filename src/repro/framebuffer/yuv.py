@@ -12,7 +12,6 @@ The conversion uses BT.601 full-range coefficients, vectorised with numpy.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -12,7 +12,7 @@ experiment's whole point is queueing at the shared server link).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

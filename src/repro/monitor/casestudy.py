@@ -20,8 +20,8 @@ bandwidth demand drawn from the workload models' per-application means.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List
 
 import numpy as np
 

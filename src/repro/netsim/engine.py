@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -60,14 +60,23 @@ class Simulator:
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the queue drains (or ``max_events`` fire)."""
+        """Run until the queue drains (or ``max_events`` fire).
+
+        ``events_processed`` is the single authoritative event counter:
+        the limit is enforced against it directly (it keeps counting
+        across successive ``run``/``run_until``/``step`` calls).
+        """
         self._guard_reentry()
         try:
-            fired = 0
-            while not self._stopped and self.step():
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
+            limit = (
+                None if max_events is None else self.events_processed + max_events
+            )
+            while (
+                not self._stopped
+                and (limit is None or self.events_processed < limit)
+                and self.step()
+            ):
+                pass
         finally:
             self._running = False
             self._stopped = False

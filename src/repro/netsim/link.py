@@ -9,8 +9,8 @@ transport layer's replay-based recovery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
 
 from collections import deque
 
@@ -19,7 +19,11 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.units import transmission_delay
+
+#: Queue-depth histogram buckets (packets waiting behind the wire).
+QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 @dataclass
@@ -53,6 +57,8 @@ class Link:
         rng: Random generator for loss decisions; required when
             ``loss_rate`` > 0 so runs stay deterministic.
         name: Label used in diagnostics.
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -65,6 +71,7 @@ class Link:
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
         name: str = "link",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if rate_bps <= 0:
             raise SimulationError(f"link rate must be positive, got {rate_bps}")
@@ -84,6 +91,18 @@ class Link:
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
         self._busy = False
+        self._metrics = registry if registry is not None else get_registry()
+        if self._metrics.enabled:
+            m = self._metrics
+            self._m_bytes = m.counter("net.link.bytes_sent", link=name)
+            self._m_packets = m.counter("net.link.packets_sent", link=name)
+            self._m_drops = m.counter("net.link.packets_dropped", link=name)
+            self._m_queue_depth = m.histogram(
+                "net.link.queue_depth", buckets=QUEUE_DEPTH_BUCKETS, link=name
+            )
+            self._m_residency = m.histogram(
+                "net.link.queue_residency_seconds", link=name
+            )
 
     # -- sending -----------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
@@ -93,9 +112,13 @@ class Link:
             and self._queued_bytes + packet.nbytes > self.queue_limit_bytes
         ):
             self.stats.packets_dropped += 1
+            if self._metrics.enabled:
+                self._m_drops.inc()
             return False
         self._queue.append((packet, self.sim.now))
         self._queued_bytes += packet.nbytes
+        if self._metrics.enabled:
+            self._m_queue_depth.observe(len(self._queue))
         if not self._busy:
             self._transmit_next()
         return True
@@ -108,6 +131,8 @@ class Link:
         packet, enqueued_at = self._queue.popleft()
         self._queued_bytes -= packet.nbytes
         self.stats.queue_delay_total += self.sim.now - enqueued_at
+        if self._metrics.enabled:
+            self._m_residency.observe(self.sim.now - enqueued_at)
         serialization = transmission_delay(packet.nbytes, self.rate_bps)
         self.stats.busy_time += serialization
         self.sim.schedule(serialization, lambda: self._finish_serialization(packet))
@@ -115,6 +140,9 @@ class Link:
     def _finish_serialization(self, packet: Packet) -> None:
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.nbytes
+        if self._metrics.enabled:
+            self._m_packets.inc()
+            self._m_bytes.inc(packet.nbytes)
         lost = (
             self.loss_rate > 0
             and self.rng is not None
@@ -122,6 +150,8 @@ class Link:
         )
         if lost:
             self.stats.packets_dropped += 1
+            if self._metrics.enabled:
+                self._m_drops.inc()
         else:
             self.sim.schedule(
                 self.propagation_delay, lambda: self.deliver(packet)

@@ -8,12 +8,13 @@ link from the switch to the server) and a small forwarding latency.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.errors import SimulationError
 from repro.netsim.engine import Simulator
-from repro.netsim.link import Link
+from repro.netsim.link import QUEUE_DEPTH_BUCKETS, Link
 from repro.netsim.packet import Packet
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 
 class Switch:
@@ -24,6 +25,8 @@ class Switch:
         forwarding_delay: Fixed store-and-forward lookup latency applied
             to each packet before it is queued on the output port.
         name: Diagnostic label.
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -31,6 +34,7 @@ class Switch:
         sim: Simulator,
         forwarding_delay: float = 5e-6,
         name: str = "switch",
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if forwarding_delay < 0:
             raise SimulationError("forwarding delay cannot be negative")
@@ -40,6 +44,16 @@ class Switch:
         self._ports: Dict[str, Link] = {}
         self.packets_forwarded = 0
         self.packets_unrouteable = 0
+        self._metrics = registry if registry is not None else get_registry()
+        if self._metrics.enabled:
+            m = self._metrics
+            self._m_forwarded = m.counter("net.switch.packets_forwarded", switch=name)
+            self._m_unrouteable = m.counter(
+                "net.switch.packets_unrouteable", switch=name
+            )
+            self._m_queue_depth = m.histogram(
+                "net.switch.queue_depth", buckets=QUEUE_DEPTH_BUCKETS, switch=name
+            )
 
     def attach_port(self, address: str, link: Link) -> None:
         """Bind the output link that reaches ``address``."""
@@ -52,8 +66,15 @@ class Switch:
         link = self._ports.get(packet.dst)
         if link is None:
             self.packets_unrouteable += 1
+            if self._metrics.enabled:
+                self._m_unrouteable.inc()
             return
         self.packets_forwarded += 1
+        if self._metrics.enabled:
+            self._m_forwarded.inc()
+            # Output-port occupancy at forwarding time: the contention
+            # signal of Figure 11 (the shared switch->server port).
+            self._m_queue_depth.observe(link.queue_depth)
         self.sim.schedule(self.forwarding_delay, lambda: link.send(packet))
 
     @property

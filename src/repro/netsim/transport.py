@@ -11,8 +11,7 @@ detection on sequence numbers + replay requests).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -21,6 +20,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.switch import Switch
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 
 class ReplayBuffer:
@@ -28,15 +28,19 @@ class ReplayBuffer:
 
     Args:
         capacity: Number of messages retained; the oldest are evicted.
+        registry: Telemetry sink; defaults to the process-global one.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self, capacity: int = 256, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         if capacity <= 0:
             raise SimulationError("replay buffer capacity must be positive")
         self.capacity = capacity
         self._messages: "OrderedDict[int, object]" = OrderedDict()
         self.replays_served = 0
         self.replays_missed = 0
+        self._metrics = registry if registry is not None else get_registry()
 
     def store(self, seq: int, message: object) -> None:
         """Remember a sent message for potential replay."""
@@ -50,8 +54,12 @@ class ReplayBuffer:
         message = self._messages.get(seq)
         if message is None:
             self.replays_missed += 1
+            if self._metrics.enabled:
+                self._metrics.counter("net.transport.replays_missed").inc()
         else:
             self.replays_served += 1
+            if self._metrics.enabled:
+                self._metrics.counter("net.transport.replays_served").inc()
         return message
 
     def __len__(self) -> int:
@@ -96,6 +104,14 @@ class Endpoint:
         if self._next_expected_seq is not None and seq > self._next_expected_seq:
             missing = list(range(self._next_expected_seq, seq))
             self.gaps_detected += 1
+            metrics = get_registry()
+            if metrics.enabled:
+                metrics.counter(
+                    "net.transport.gaps_detected", endpoint=self.address
+                ).inc()
+                metrics.counter(
+                    "net.transport.retransmits_requested", endpoint=self.address
+                ).inc(len(missing))
             if self.on_gap is not None:
                 self.on_gap(missing)
         if self._next_expected_seq is None or seq >= self._next_expected_seq:
@@ -117,11 +133,13 @@ class Network:
         default_rate_bps: float,
         propagation_delay: float = 5e-6,
         forwarding_delay: float = 5e-6,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.default_rate_bps = default_rate_bps
         self.propagation_delay = propagation_delay
-        self.switch = Switch(sim, forwarding_delay=forwarding_delay)
+        self._registry = registry
+        self.switch = Switch(sim, forwarding_delay=forwarding_delay, registry=registry)
         self._endpoints: Dict[str, Endpoint] = {}
         self._uplinks: Dict[str, Link] = {}   # endpoint -> switch
         self._downlinks: Dict[str, Link] = {}  # switch -> endpoint
@@ -146,6 +164,7 @@ class Network:
             loss_rate=loss_rate,
             rng=rng,
             name=f"{endpoint.address}->switch",
+            registry=self._registry,
         )
         downlink = Link(
             self.sim,
@@ -156,6 +175,7 @@ class Network:
             loss_rate=loss_rate,
             rng=rng,
             name=f"switch->{endpoint.address}",
+            registry=self._registry,
         )
         self.switch.attach_port(endpoint.address, downlink)
         self._endpoints[endpoint.address] = endpoint

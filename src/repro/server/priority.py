@@ -12,7 +12,7 @@ added latency collapses while the background users lose almost nothing.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Optional
 
 from repro.errors import SchedulerError
 from repro.netsim.engine import Simulator

@@ -16,13 +16,17 @@ to every burst (the paper modelled "both CPU and memory loads").
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 
 import numpy as np
 
 from repro.errors import SchedulerError
 from repro.netsim.engine import Simulator
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+#: Ready-queue length buckets (runnable bursts awaiting a CPU).
+RUN_QUEUE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 class Task:
@@ -76,6 +80,8 @@ class Scheduler:
         memory_mb: Physical memory; 0 disables the paging model.
         paging_slowdown: Burst-time multiplier per unit of memory
             oversubscription (demand/capacity - 1).
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class Scheduler:
         context_switch: float = 50e-6,
         memory_mb: float = 0.0,
         paging_slowdown: float = 4.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_cpus < 1:
             raise SchedulerError(f"need at least one CPU, got {num_cpus}")
@@ -102,6 +109,17 @@ class Scheduler:
         self._cpu_busy = [False] * num_cpus
         self._last_on_cpu: List[Optional[Task]] = [None] * num_cpus
         self.busy_time = 0.0
+        self._metrics = registry if registry is not None else get_registry()
+        if self._metrics.enabled:
+            m = self._metrics
+            self._m_run_queue = m.histogram(
+                "server.scheduler.run_queue_len", buckets=RUN_QUEUE_BUCKETS
+            )
+            self._m_cpu_seconds = m.counter("server.scheduler.cpu_seconds")
+            self._m_ctx_switches = m.counter("server.scheduler.context_switches")
+            self._m_queue_delay = m.histogram(
+                "server.scheduler.burst_queueing_seconds"
+            )
 
     # -- task management ---------------------------------------------------
     def spawn(self, task: Task) -> Task:
@@ -140,6 +158,8 @@ class Scheduler:
             submitted_at=self.sim.now,
         )
         self._ready.append(burst)
+        if self._metrics.enabled:
+            self._m_run_queue.observe(len(self._ready))
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -161,6 +181,10 @@ class Scheduler:
         slice_time = min(self.quantum, burst.remaining)
         total = overhead + slice_time
         self.busy_time += total
+        if self._metrics.enabled:
+            self._m_cpu_seconds.inc(slice_time)
+            if overhead > 0:
+                self._m_ctx_switches.inc()
 
         def on_slice_end() -> None:
             burst.remaining -= slice_time
@@ -170,6 +194,18 @@ class Scheduler:
                 self._ready.append(burst)
             else:
                 elapsed = self.sim.now - burst.submitted_at
+                if self._metrics.enabled:
+                    self._m_queue_delay.observe(
+                        max(0.0, elapsed - burst.requested)
+                    )
+                    if self.sim.now > 0:
+                        # Per-session CPU share of the machine (Table 5).
+                        self._metrics.gauge(
+                            "server.scheduler.cpu_share", task=burst.task.name
+                        ).set(
+                            burst.task.cpu_consumed
+                            / (self.sim.now * self.num_cpus)
+                        )
                 burst.task.on_burst_complete(burst.requested, elapsed)
             self._dispatch()
 

@@ -15,17 +15,19 @@ it at 1.7% of X-server execution time (Section 5.5).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core import commands as cmd
-from repro.core.costs import ConsoleCostModel
-from repro.core.encoder import EncoderConfig, SlimEncoder
+from repro.core.encoder import SlimEncoder
 from repro.core.wire import message_wire_nbytes
 from repro.analysis.traces import UpdateRecord
 from repro.console.microops import MicroOpModel
 from repro.framebuffer.framebuffer import FrameBuffer
 from repro.framebuffer.painter import Painter, PaintOp
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+from repro.telemetry.trace import Tracer
 from repro.xproto.baseline import RawPixelDriver, XDriver
 
 #: Reference-CPU encode cost per output byte, tuned so that encoding
@@ -60,6 +62,8 @@ class SlimDriver:
             drivers so traces carry Figure 8's three-way comparison.
         send: Optional callback receiving each encoded command (wired to
             a network in the examples; None for pure trace collection).
+        registry: Telemetry sink; defaults to the process-global
+            registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -69,8 +73,11 @@ class SlimDriver:
         framebuffer: Optional[FrameBuffer] = None,
         track_baselines: bool = True,
         send: Optional[Callable[[cmd.DisplayCommand], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.encoder = encoder or SlimEncoder(materialize=framebuffer is not None)
+        self.encoder = encoder or SlimEncoder(
+            materialize=framebuffer is not None, registry=registry
+        )
         self.cost_model = cost_model if cost_model is not None else MicroOpModel()
         self.framebuffer = framebuffer
         self.send = send
@@ -78,34 +85,63 @@ class SlimDriver:
         self.raw_driver = RawPixelDriver() if track_baselines else None
         self.stats = DriverStats()
         self.records: List[UpdateRecord] = []
+        self._metrics = registry if registry is not None else get_registry()
+        # Wall-clock spans: where does the *reproduction's* time go.
+        self._tracer = Tracer(registry=self._metrics)
+        if self._metrics.enabled:
+            m = self._metrics
+            self._m_updates = m.counter("server.driver.updates")
+            self._m_commands = m.counter("server.driver.commands")
+            self._m_wire_bytes = m.counter("server.driver.wire_bytes")
+            self._m_update_bytes = m.histogram("server.driver.update_wire_bytes")
+            self._m_service = m.histogram("server.driver.update_service_seconds")
+            self._m_compression = m.gauge("server.driver.compression_factor")
+
+    def update(
+        self, time: float, ops: List[PaintOp], paint: bool = True
+    ) -> UpdateRecord:
+        """Process one display update: paint + encode + log + send.
+
+        With ``paint`` True (the default) and a framebuffer attached,
+        this is the faithful driver call order: a real device driver is
+        invoked per rendering operation, so each op is painted into the
+        server framebuffer and then encoded against the state it
+        produced — required for correctness when ops within one update
+        overlap (a COPY whose source a later op repaints, for example).
+
+        With ``paint`` False the ops are encoded against the current
+        framebuffer contents (the caller painted them already); in
+        materialized mode the ops must then not overlap each other.
+        Accounting-only drivers (no framebuffer) have nothing to paint,
+        so ``paint`` is a no-op for them.
+        """
+        if self._metrics.enabled:
+            with self._tracer.span("server.driver.update"):
+                return self._update(time, ops, paint)
+        return self._update(time, ops, paint)
+
+    def _update(self, time: float, ops: List[PaintOp], paint: bool) -> UpdateRecord:
+        if paint and self.framebuffer is not None:
+            painter = Painter(self.framebuffer)
+            commands: List[cmd.DisplayCommand] = []
+            for op in ops:
+                painter.apply(op)
+                commands.extend(self.encoder.encode_op(op, self.framebuffer))
+        else:
+            commands = self.encoder.encode_ops(ops, self.framebuffer)
+        return self._log_update(time, ops, commands)
 
     def paint_and_update(self, time: float, ops: List[PaintOp]) -> UpdateRecord:
-        """Paint ops into the server framebuffer, encoding each in turn.
-
-        This is the faithful driver call order: a real device driver is
-        invoked per rendering operation, so each op is encoded against
-        the framebuffer state it produced — required for correctness
-        when ops within one update overlap (a COPY whose source a later
-        op repaints, for example).
-        """
+        """Deprecated alias for :meth:`update` with ``paint=True``."""
+        warnings.warn(
+            "SlimDriver.paint_and_update is deprecated; "
+            "use update(time, ops) (paint defaults to True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self.framebuffer is None:
             raise ValueError("paint_and_update requires a framebuffer")
-        painter = Painter(self.framebuffer)
-        commands: List[cmd.DisplayCommand] = []
-        for op in ops:
-            painter.apply(op)
-            commands.extend(self.encoder.encode_op(op, self.framebuffer))
-        return self._log_update(time, ops, commands)
-
-    def update(self, time: float, ops: List[PaintOp]) -> UpdateRecord:
-        """Process one already-painted display update: encode + log + send.
-
-        In materialized mode the ops must not overlap each other (use
-        :meth:`paint_and_update` for the general case); accounting-only
-        drivers have no such constraint.
-        """
-        commands = self.encoder.encode_ops(ops, self.framebuffer)
-        return self._log_update(time, ops, commands)
+        return self.update(time, ops, paint=True)
 
     def _log_update(
         self, time: float, ops: List[PaintOp], commands: List[cmd.DisplayCommand]
@@ -153,6 +189,17 @@ class SlimDriver:
         self.stats.encode_cpu_seconds += (
             ncommands * ENCODE_NS_PER_COMMAND + record.wire_bytes * ENCODE_NS_PER_BYTE
         ) * 1e-9
+        if self._metrics.enabled:
+            self._m_updates.inc()
+            self._m_commands.inc(ncommands)
+            self._m_wire_bytes.inc(record.wire_bytes)
+            self._m_update_bytes.observe(record.wire_bytes)
+            self._m_service.observe(record.service_time)
+            if self.stats.wire_bytes > 0:
+                # Compression vs 24-bit raw pixels (the Figure 4 headline).
+                self._m_compression.set(
+                    self.stats.pixels * 3 / self.stats.wire_bytes
+                )
 
     # -- convenience -----------------------------------------------------------
     def mean_bandwidth_bps(self, duration: float) -> float:

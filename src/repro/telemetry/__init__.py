@@ -1,0 +1,59 @@
+"""repro.telemetry — zero-dependency metrics and tracing.
+
+The uniform instrumentation layer under every hot path: the network
+fabric, the console decode loop, the server scheduler and SLIM driver,
+and the encoder all report into an injectable
+:class:`~repro.telemetry.metrics.MetricsRegistry` that defaults to a
+process-global one.  The global registry starts as a
+:class:`~repro.telemetry.metrics.NullRegistry`, so nothing is recorded
+(and nothing is paid) until :func:`enable` — or
+``python -m repro.experiments --metrics`` — turns it on.
+
+Typical use::
+
+    from repro import telemetry
+
+    registry = telemetry.enable()
+    ...  # run a simulation
+    print(telemetry.render_report(registry))
+
+Isolation for tests and side-by-side experiments::
+
+    with telemetry.use_registry() as registry:
+        ...  # components constructed here report into `registry`
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    P2Quantile,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.report import render_json, render_report
+from repro.telemetry.trace import Span, Tracer, sample_periodically
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "P2Quantile",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_registry",
+    "render_json",
+    "render_report",
+    "sample_periodically",
+    "set_registry",
+    "use_registry",
+]

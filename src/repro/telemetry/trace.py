@@ -1,0 +1,183 @@
+"""Spans over simulated (or wall-clock) time.
+
+A :class:`Tracer` is bound to a clock — typically ``lambda: sim.now`` so
+spans measure *simulated* time, the quantity the paper's figures plot —
+and records each finished span's duration into a histogram named
+``span.<name>.seconds`` in its registry.  Passing ``capture_wall=True``
+additionally records the span's host wall-clock cost into
+``span.<name>.wall_seconds``, which is how the reproduction itself gets
+profiled (where does *our* time go when simulating 400 users?).
+
+Spans nest: the tracer keeps a stack, each span knows its parent, and
+the rendered metric carries only the span's own name so repeated call
+sites aggregate.  :func:`sample_periodically` is the companion for
+gauge-style sampling on the event engine (it rides
+:meth:`Simulator.run_until` slices or plain scheduling).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+__all__ = ["Span", "Tracer", "sample_periodically"]
+
+
+class Span:
+    """One timed section.  Use via ``with tracer.span("name"):``."""
+
+    __slots__ = ("name", "labels", "parent", "start", "end", "wall_start", "wall_end")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict,
+        parent: Optional["Span"],
+        start: float,
+        wall_start: Optional[float],
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.parent = parent
+        self.start = start
+        self.end: Optional[float] = None
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Clock time inside the span (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        if self.wall_start is None or self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 0 for a root span."""
+        depth, node = 0, self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+
+class Tracer:
+    """Creates spans against one clock and one registry.
+
+    Args:
+        registry: Metrics sink; defaults to the process-global registry
+            *at call time*, so enabling telemetry later is picked up.
+        clock: Time source for span durations.  Bind the simulator
+            (``clock=lambda: sim.now``) to measure simulated time; the
+            default is host wall-clock (:func:`time.perf_counter`).
+        capture_wall: Also record host wall-clock durations alongside the
+            primary clock (ignored when the primary clock already is
+            wall-clock).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Callable[[], float]] = None,
+        capture_wall: bool = False,
+    ) -> None:
+        self._registry = registry
+        self._clock = clock if clock is not None else _time.perf_counter
+        self._wall = capture_wall and clock is not None
+        self._stack: List[Span] = []
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **labels: object) -> "_SpanContext":
+        return _SpanContext(self, name, labels)
+
+    # -- internals ---------------------------------------------------------
+    def _open(self, name: str, labels: dict) -> Span:
+        wall_start = _time.perf_counter() if self._wall else None
+        span = Span(name, labels, self.current, self._clock(), wall_start)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        if self._wall:
+            span.wall_end = _time.perf_counter()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # out-of-order close: drop it from wherever it sits
+            try:
+                self._stack.remove(span)
+            except ValueError:
+                pass
+        registry = self.registry
+        if registry.enabled:
+            registry.histogram(f"span.{span.name}.seconds", **span.labels).observe(
+                span.duration
+            )
+            wall = span.wall_duration
+            if wall is not None:
+                registry.histogram(
+                    f"span.{span.name}.wall_seconds", **span.labels
+                ).observe(wall)
+
+
+class _SpanContext:
+    """Context manager yielding the opened :class:`Span`."""
+
+    __slots__ = ("_tracer", "_name", "_labels", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, labels: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._labels = labels
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._labels)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        self._tracer._close(self._span)
+
+
+def sample_periodically(
+    sim,
+    interval: float,
+    sample: Callable[[], None],
+    until: Optional[float] = None,
+) -> None:
+    """Schedule ``sample()`` every ``interval`` simulated seconds.
+
+    Companion to :meth:`Simulator.run_until`: experiments advance the
+    simulation in slices while this keeps gauge-style observations
+    (queue occupancy, utilization) flowing at a fixed cadence.  Sampling
+    stops when ``until`` is reached (or runs as long as the simulation
+    does, when None).
+    """
+    if interval <= 0:
+        raise ValueError(f"sampling interval must be positive, got {interval}")
+
+    def tick() -> None:
+        if until is not None and sim.now > until:
+            return
+        sample()
+        if until is None or sim.now + interval <= until:
+            sim.schedule(interval, tick)
+
+    sim.schedule(interval, tick)

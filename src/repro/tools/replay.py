@@ -24,7 +24,7 @@ from repro.analysis.traces import load_traces
 from repro.errors import ReproError
 from repro.experiments.fig6 import trace_packet_windows, windowed_added_delays
 from repro.experiments.scalability import classify
-from repro.units import KBPS, MBPS
+from repro.units import MBPS
 
 
 def parse_bandwidth(text: str) -> float:

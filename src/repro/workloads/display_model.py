@@ -24,7 +24,7 @@ lists positioned inside the display, so they can be run materialized
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

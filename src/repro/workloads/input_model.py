@@ -19,7 +19,7 @@ apps differ mainly in how much of the time the user is reading).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -11,12 +11,12 @@ scheduler and network load generators — the building block behind the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workloads.apps import BENCHMARK_APPS, AppProfile
+from repro.workloads.apps import BENCHMARK_APPS
 from repro.workloads.session import ResourceProfile, run_user_study
 
 

@@ -20,7 +20,7 @@ lognormal per-user factor so simulated users differ like real ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

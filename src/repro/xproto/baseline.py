@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.errors import ProtocolError
 from repro.framebuffer.framebuffer import FrameBuffer

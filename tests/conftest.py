@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.framebuffer import FrameBuffer, Painter, Rect
+from repro.framebuffer import FrameBuffer, Painter
 
 
 @pytest.fixture

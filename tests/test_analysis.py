@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.cdf import Cdf, histogram
-from repro.analysis.stats import Summary, geometric_mean, linear_fit, summarize
+from repro.analysis.stats import geometric_mean, linear_fit, summarize
 from repro.analysis.traces import (
     InputRecord,
     SessionTrace,

@@ -1,7 +1,6 @@
 """Audio as the latency canary: playout quality under shared-link load."""
 
 import numpy as np
-import pytest
 
 from repro.core.audio import TELEPHONY, AudioSource, audio_quality_under_jitter
 from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern

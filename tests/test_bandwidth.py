@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.bandwidth import BandwidthAllocator, Grant
+from repro.core.bandwidth import BandwidthAllocator
 from repro.errors import BandwidthError
 from repro.units import MBPS
 

@@ -6,7 +6,7 @@ import pytest
 from repro.core import commands as cmd
 from repro.core.commands import Opcode
 from repro.core.costs import SUN_RAY_1_COSTS, ConsoleCostModel
-from repro.core.wire import Datagram, WireCodec
+from repro.core.wire import WireCodec
 from repro.console import Console, MicroOpModel
 from repro.console.calibration import (
     calibrate_command,

@@ -8,7 +8,7 @@ from repro.core import cscs_codec
 from repro.core.decoder import SlimDecoder
 from repro.core.commands import Opcode
 from repro.errors import ProtocolError
-from repro.framebuffer import FrameBuffer, Rect
+from repro.framebuffer import Rect
 from repro.framebuffer.painter import synth_video_frame
 
 

@@ -1,6 +1,5 @@
 """Tests for the driver's paint-and-encode semantics (overlap hazards)."""
 
-import numpy as np
 import pytest
 
 from repro.core.decoder import SlimDecoder
@@ -21,19 +20,14 @@ def make_pair(w=96, h=64):
     return server_fb, console_fb, driver
 
 
-class TestPaintAndUpdate:
-    def test_requires_framebuffer(self):
-        driver = SlimDriver()  # accounting-only, no framebuffer
-        with pytest.raises(ValueError):
-            driver.paint_and_update(0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 4, 4))])
-
+class TestUpdatePaints:
     def test_copy_source_overwritten_by_later_op(self):
         """A COPY whose source a later op repaints must stay faithful."""
         server_fb, console_fb, driver = make_pair()
-        driver.paint_and_update(
+        driver.update(
             0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 96, 64), color=(10, 10, 10))]
         )
-        driver.paint_and_update(
+        driver.update(
             1.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
         )
         ops = [
@@ -42,7 +36,7 @@ class TestPaintAndUpdate:
             # ...then repaint the source region before the update ends.
             PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(0, 200, 0)),
         ]
-        driver.paint_and_update(2.0, ops)
+        driver.update(2.0, ops)
         assert server_fb.equals(console_fb)
         assert console_fb.pixel(45, 5) == (200, 0, 0)
         assert console_fb.pixel(5, 5) == (0, 200, 0)
@@ -54,12 +48,12 @@ class TestPaintAndUpdate:
             PaintOp(PaintKind.TEXT, Rect(0, 0, 60, 26), seed=1),
             PaintOp(PaintKind.FILL, Rect(20, 5, 20, 13), color=(120, 0, 120)),
         ]
-        driver.paint_and_update(0.0, ops)
+        driver.update(0.0, ops)
         assert server_fb.equals(console_fb)
 
     def test_record_aggregates_all_ops(self):
         server_fb, _console_fb, driver = make_pair()
-        record = driver.paint_and_update(
+        record = driver.update(
             3.5,
             [
                 PaintOp(PaintKind.FILL, Rect(0, 0, 8, 8), color=(1, 1, 1)),
@@ -73,13 +67,46 @@ class TestPaintAndUpdate:
     def test_chained_copies_within_one_update(self):
         """COPY of a region produced by an earlier COPY in the same update."""
         server_fb, console_fb, driver = make_pair()
-        driver.paint_and_update(
+        driver.update(
             0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 8, 8), color=(50, 60, 70))]
         )
         ops = [
             PaintOp(PaintKind.COPY, Rect(16, 0, 8, 8), src=Rect(0, 0, 8, 8)),
             PaintOp(PaintKind.COPY, Rect(32, 0, 8, 8), src=Rect(16, 0, 8, 8)),
         ]
-        driver.paint_and_update(1.0, ops)
+        driver.update(1.0, ops)
         assert server_fb.equals(console_fb)
         assert console_fb.pixel(36, 4) == (50, 60, 70)
+
+    def test_paint_false_uses_prepainted_framebuffer(self):
+        """``paint=False`` encodes against pixels the caller painted."""
+        server_fb, console_fb, driver = make_pair()
+        painter = Painter(server_fb)
+        op = PaintOp(PaintKind.FILL, Rect(0, 0, 32, 32), color=(9, 9, 9))
+        painter.apply(op)
+        driver.update(0.0, [op], paint=False)
+        assert server_fb.equals(console_fb)
+
+    def test_accounting_only_driver_ignores_paint_flag(self):
+        driver = SlimDriver()  # no framebuffer: nothing to paint
+        ops = [PaintOp(PaintKind.FILL, Rect(0, 0, 4, 4))]
+        record = driver.update(0.0, ops)
+        assert record.commands_by_opcode["FILL"] == 1
+
+
+class TestDeprecatedAlias:
+    def test_paint_and_update_warns_and_delegates(self):
+        server_fb, console_fb, driver = make_pair()
+        with pytest.warns(DeprecationWarning, match="paint_and_update"):
+            driver.paint_and_update(
+                0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(7, 7, 7))]
+            )
+        assert server_fb.equals(console_fb)
+
+    def test_paint_and_update_requires_framebuffer(self):
+        driver = SlimDriver()  # accounting-only, no framebuffer
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                driver.paint_and_update(
+                    0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 4, 4))]
+                )

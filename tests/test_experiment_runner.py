@@ -4,12 +4,16 @@ import pytest
 
 from repro.errors import ReproError
 from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentConfig,
     ExperimentResult,
     REGISTRY,
+    experiment,
     register,
     render_table,
     run_all,
 )
+from repro.telemetry import MetricsRegistry
 
 
 class TestResultAndRendering:
@@ -52,18 +56,103 @@ class TestRegistry:
         assert expected <= set(REGISTRY)
 
     def test_duplicate_registration_rejected(self):
-        register("only-once-test", lambda: ExperimentResult("x", "y"))
-        with pytest.raises(ReproError):
+        with pytest.warns(DeprecationWarning):
             register("only-once-test", lambda: ExperimentResult("x", "y"))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ReproError):
+                register("only-once-test", lambda: ExperimentResult("x", "y"))
 
     def test_run_all_unknown_id(self):
         with pytest.raises(ReproError):
             run_all(["no-such-experiment"])
 
     def test_run_all_subset(self):
-        register("trivial-test", lambda: ExperimentResult("trivial-test", "t"))
+        with pytest.warns(DeprecationWarning):
+            register("trivial-test", lambda: ExperimentResult("trivial-test", "t"))
         results = run_all(["trivial-test"])
         assert results[0].experiment_id == "trivial-test"
+
+    def test_legacy_registry_view_tracks_experiments(self):
+        import repro.experiments.__main__  # noqa: F401
+
+        assert "table4" in REGISTRY
+        assert set(REGISTRY) == set(EXPERIMENTS)
+        result = REGISTRY["table4"]()  # legacy zero-arg call style
+        assert result.experiment_id == "table4"
+
+
+class TestConfig:
+    def test_get_typed_field_with_default(self):
+        config = ExperimentConfig(seed=7)
+        assert config.get("seed", 3) == 7
+        assert config.get("duration", 60.0) == 60.0
+
+    def test_get_extra(self):
+        config = ExperimentConfig(extra={"suite": "probe"})
+        assert config.get("suite") == "probe"
+        assert config.get("missing", "d") == "d"
+
+    def test_with_overrides_splits_typed_and_extra(self):
+        config = ExperimentConfig().with_overrides(seed=1, suite="x")
+        assert config.seed == 1
+        assert config.extra == {"suite": "x"}
+
+    def test_sim_seconds_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="sim_seconds"):
+            config = ExperimentConfig().with_overrides(sim_seconds=5.0)
+        assert config.duration == 5.0
+
+    def test_resolved_registry_prefers_explicit(self):
+        mine = MetricsRegistry()
+        assert ExperimentConfig(registry=mine).resolved_registry() is mine
+        assert not ExperimentConfig().resolved_registry().enabled
+
+
+class TestDecorator:
+    def test_decorator_registers_and_wraps(self):
+        @experiment("decorator-test", title="A decorated run", section="9.9")
+        def run(config):
+            return ExperimentResult(
+                "decorator-test", "t", rows=[{"seed": config.get("seed", 0)}]
+            )
+
+        spec = EXPERIMENTS["decorator-test"]
+        assert spec.title == "A decorated run"
+        assert spec.section == "9.9"
+        assert run().rows == [{"seed": 0}]
+        assert run(seed=5).rows == [{"seed": 5}]
+        assert run(ExperimentConfig(seed=2)).rows == [{"seed": 2}]
+        assert run(ExperimentConfig(seed=2), seed=4).rows == [{"seed": 4}]
+
+    def test_duplicate_decorator_rejected(self):
+        @experiment("decorator-dup-test")
+        def run(config):
+            return ExperimentResult("decorator-dup-test", "t")
+
+        with pytest.raises(ReproError):
+            @experiment("decorator-dup-test")
+            def run2(config):
+                return ExperimentResult("decorator-dup-test", "t")
+
+    def test_non_config_positional_rejected(self):
+        @experiment("decorator-badarg-test")
+        def run(config):
+            return ExperimentResult("decorator-badarg-test", "t")
+
+        with pytest.raises(ReproError):
+            run(42)
+
+    def test_config_threads_registry(self):
+        captured = {}
+
+        @experiment("decorator-registry-test")
+        def run(config):
+            captured["registry"] = config.resolved_registry()
+            return ExperimentResult("decorator-registry-test", "t")
+
+        mine = MetricsRegistry()
+        run(ExperimentConfig(registry=mine))
+        assert captured["registry"] is mine
 
 
 class TestRunSmoke:
@@ -108,6 +197,30 @@ class TestRunSmoke:
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "Xmark" in out or "x11perf" in out
+
+    def test_cli_metrics_report(self, capsys):
+        from repro.experiments.__main__ import main
+        from repro.telemetry import get_registry
+
+        assert main(["--metrics", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "console.decode.count" in out
+        assert "net.link.bytes_sent" in out
+        assert "net.switch.queue_depth" in out
+        assert "server.driver.update_service_seconds" in out
+        # The CLI's collection registry must not leak into the process.
+        assert not get_registry().enabled
+
+    def test_cli_metrics_json(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "metrics.json"
+        assert main(["--metrics-json", str(path), "table4"]) == 0
+        data = json.loads(path.read_text())
+        assert any(e["name"] == "console.decode.count" for e in data)
 
 
 class TestUserstudyCache:

@@ -14,7 +14,7 @@ from repro.experiments.fig2 import frequency_cdfs
 from repro.experiments.fig3 import pixel_cdfs
 from repro.experiments.fig4 import command_breakdown
 from repro.experiments.fig5 import bytes_cdfs
-from repro.experiments.fig6 import BANDWIDTHS, added_delay_cdfs
+from repro.experiments.fig6 import added_delay_cdfs
 from repro.experiments.fig7 import service_time_cdfs
 from repro.experiments.fig8 import bandwidth_table
 from repro.experiments.fig9 import latency_curve, users_at_threshold, yardstick_latency
@@ -65,7 +65,8 @@ class TestFig2Landmarks:
             assert 0.60 < cdf.fraction_below(10.0) < 0.92, name
 
     def test_image_apps_less_interactive(self, cdfs):
-        slow = lambda name: cdfs[name].fraction_below(1.0)  # >=1s gaps
+        def slow(name):
+            return cdfs[name].fraction_below(1.0)  # >=1s gaps
         assert slow("Photoshop") > 1.5 * slow("FrameMaker")
         assert slow("Netscape") > 1.5 * slow("PIM")
 

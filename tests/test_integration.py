@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core import commands as cmd
-from repro.core.decoder import SlimDecoder
 from repro.core.encoder import EncoderConfig, SlimEncoder
 from repro.core.wire import Datagram, WireCodec
 from repro.console import Console
@@ -47,15 +46,13 @@ class TestLosslessFidelity:
         w, h = 320, 240
         server_fb = FrameBuffer(w, h)
         console = Console(w, h)
-        painter = Painter(server_fb)
         driver = SlimDriver(
             encoder=SlimEncoder(materialize=True),
             framebuffer=server_fb,
             send=wire_channel(console),
         )
         for op in a_desktop_scene(w, h):
-            painter.apply(op)
-            driver.update(0.0, [op])
+            driver.update(0.0, [op])  # paints then encodes each op
         assert server_fb.equals(console.framebuffer)
 
     def test_pipeline_with_every_encoder_ablation(self):
@@ -69,14 +66,12 @@ class TestLosslessFidelity:
             w, h = 160, 120
             server_fb = FrameBuffer(w, h)
             console = Console(w, h)
-            painter = Painter(server_fb)
             driver = SlimDriver(
                 encoder=SlimEncoder(config=config, materialize=True),
                 framebuffer=server_fb,
                 send=wire_channel(console),
             )
             for op in a_desktop_scene(w, h):
-                painter.apply(op)
                 driver.update(0.0, [op])
             assert server_fb.equals(console.framebuffer), config
 
@@ -84,14 +79,12 @@ class TestLosslessFidelity:
         w, h = 160, 120
         server_fb = FrameBuffer(w, h)
         console = Console(w, h)
-        painter = Painter(server_fb)
         driver = SlimDriver(
             encoder=SlimEncoder(materialize=True),
             framebuffer=server_fb,
             send=wire_channel(console),
         )
         op = PaintOp(PaintKind.VIDEO, Rect(10, 10, 96, 64), seed=4, bits_per_pixel=16)
-        painter.apply(op)
         driver.update(0.0, [op])
         region = Rect(10, 10, 96, 64)
         err = np.abs(
@@ -105,7 +98,6 @@ class TestLosslessFidelity:
         w, h = 200, 150
         server_fb = FrameBuffer(w, h)
         console = Console(w, h)
-        painter = Painter(server_fb)
         driver = SlimDriver(
             encoder=SlimEncoder(materialize=True),
             framebuffer=server_fb,
@@ -118,7 +110,7 @@ class TestLosslessFidelity:
         display.display_area = w * h
         for i in range(30):
             ops = display.sample_update(rng, seed=i)
-            driver.paint_and_update(float(i), ops)
+            driver.update(float(i), ops)
         assert server_fb.equals(console.framebuffer)
 
 
@@ -131,7 +123,6 @@ class TestOverTheFabric:
         network.attach(console.make_endpoint())
         network.attach(Endpoint("server"))
         server_fb = FrameBuffer(w, h)
-        painter = Painter(server_fb)
         tx = WireCodec()
 
         def send(command):
@@ -149,7 +140,6 @@ class TestOverTheFabric:
             encoder=SlimEncoder(materialize=True), framebuffer=server_fb, send=send
         )
         for op in a_desktop_scene(w, h):
-            painter.apply(op)
             driver.update(sim.now, [op])
         sim.run()
         assert server_fb.equals(console.framebuffer)
@@ -233,9 +223,7 @@ class TestDriverTraceConsistency:
             framebuffer=server_fb,
             send=sent.append,
         )
-        painter = Painter(server_fb)
         op = PaintOp(PaintKind.TEXT, Rect(0, 0, 80, 39), seed=1)
-        painter.apply(op)
         record = driver.update(0.0, [op])
         assert record.wire_bytes == sum(message_wire_nbytes(c) for c in sent)
 
@@ -249,9 +237,7 @@ class TestDriverTraceConsistency:
             framebuffer=server_fb,
             send=sent.append,
         )
-        painter = Painter(server_fb)
         op = PaintOp(PaintKind.IMAGE, Rect(0, 0, 64, 64), seed=2)
-        painter.apply(op)
         record = driver.update(0.0, [op])
         actual = sum(console.process(c) for c in sent)
         assert record.service_time == pytest.approx(actual)

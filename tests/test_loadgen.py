@@ -1,6 +1,5 @@
 """Unit tests for network load generation and yardsticks."""
 
-import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
@@ -13,7 +12,7 @@ from repro.loadgen.yardstick import (
     NetworkYardstick,
 )
 from repro.netsim import Endpoint, Network, Packet, Simulator
-from repro.units import ETHERNET_100, MBPS
+from repro.units import ETHERNET_100
 from repro.workloads.session import ResourceProfile
 
 

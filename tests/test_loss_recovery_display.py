@@ -133,7 +133,7 @@ def test_display_session_survives_loss(loss_rate):
     display.display_area = 160 * 120
     for i in range(15):
         ops = display.sample_update(rng, seed=i)
-        driver.paint_and_update(float(i), ops)
+        driver.update(float(i), ops)
         channel.sim.run()  # let the fabric drain between updates
 
     channel.settle()
@@ -151,20 +151,20 @@ def test_gap_recovery_handles_copy_safely():
         framebuffer=server_fb,
         send=channel.send_command,
     )
-    driver.paint_and_update(
+    driver.update(
         0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
     )
     # Simulate losing the COPY: paint it on the server but route its
     # command into the void, then mutate the source.
     sink = []
     driver.send = sink.append
-    driver.paint_and_update(
+    driver.update(
         1.0, [PaintOp(PaintKind.COPY, Rect(40, 0, 16, 16), src=Rect(0, 0, 16, 16))]
     )
     lost_seq = channel.tx.next_seq()  # the seq the COPY would have used
     channel.region_of_seq[lost_seq] = Rect(40, 0, 16, 16)
     driver.send = channel.send_command
-    driver.paint_and_update(
+    driver.update(
         2.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(0, 200, 0))]
     )
     channel.sim.run()
@@ -185,7 +185,7 @@ def test_no_loss_no_recovery():
         framebuffer=server_fb,
         send=channel.send_command,
     )
-    driver.paint_and_update(
+    driver.update(
         0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 160, 120), color=(9, 9, 9))]
     )
     channel.sim.run()

@@ -1,6 +1,5 @@
 """Unit tests for the discrete-event engine and the network fabric."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GeometryError
-from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Painter, Rect
+from repro.framebuffer import PaintKind, PaintOp, Painter, Rect
 from repro.framebuffer.painter import (
     synth_glyph_bitmap,
     synth_image,

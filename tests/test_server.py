@@ -5,11 +5,11 @@ import pytest
 
 from repro.core.encoder import SlimEncoder
 from repro.errors import SchedulerError
-from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Painter, Rect
+from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Rect
 from repro.netsim.engine import Simulator
 from repro.server.host import E4500, MachineSpec, ServerHost, ULTRA_2
 from repro.server.slimdriver import SlimDriver
-from repro.server.xserver import XPerfOp, XPerfSuite, build_default_suite, xmark
+from repro.server.xserver import XPerfSuite, build_default_suite, xmark
 from repro.core import commands as cmd
 
 
@@ -70,11 +70,10 @@ class TestSlimDriver:
     def test_materialized_driver_uses_framebuffer(self):
         fb = FrameBuffer(64, 48)
         op = PaintOp(PaintKind.TEXT, Rect(0, 0, 40, 26), seed=1)
-        Painter(fb).apply(op)
         driver = SlimDriver(
             encoder=SlimEncoder(materialize=True), framebuffer=fb
         )
-        record = driver.update(0.0, [op])
+        record = driver.update(0.0, [op])  # paints, then encodes
         assert "BITMAP" in record.commands_by_opcode
 
     def test_stats_accumulate(self):

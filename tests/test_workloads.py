@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
-from repro.framebuffer import FrameBuffer, PaintKind, Painter
+from repro.framebuffer import PaintKind
 from repro.workloads.apps import BENCHMARK_APPS, FRAMEMAKER, NETSCAPE, PHOTOSHOP, PIM
 from repro.workloads.display_model import (
     DisplayModel,

@@ -1,6 +1,5 @@
 """Unit tests for the X11 / raw-pixel / VNC baselines."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ProtocolError
