@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Loss recovery in action: a display session over a lossy fabric.
+
+Runs the same Netscape-style update stream over increasingly lossy
+links and shows the paper's Section 2.2 recovery scheme doing its job:
+the console NACKs missing sequence numbers with real packets over the
+reverse path, the server re-encodes the damaged regions from its
+*current* framebuffer, and the periodic status exchange sweeps up tail
+loss.  Every run ends pixel-exact — the whole point.
+
+Run:  python examples/lossy_display.py
+"""
+
+import numpy as np
+
+from repro import DisplayChannel, FrameBuffer
+from repro.workloads.apps import NETSCAPE
+
+WIDTH, HEIGHT = 320, 240
+UPDATES = 12
+LOSS_RATES = (0.0, 0.05, 0.2)
+
+
+def run_session(loss_rate: float) -> DisplayChannel:
+    server_fb = FrameBuffer(WIDTH, HEIGHT)
+    channel = DisplayChannel(server_fb, loss_rate=loss_rate, seed=42)
+    driver = channel.make_driver(track_baselines=False)
+    rng = np.random.default_rng(7)
+    display = NETSCAPE.display_model()
+    display.display_w, display.display_h = WIDTH, HEIGHT
+    display.display_area = WIDTH * HEIGHT
+    for index in range(UPDATES):
+        driver.update(channel.sim.now, display.sample_update(rng, seed=index))
+        channel.run()  # drains once the status exchange confirms delivery
+    return channel
+
+
+def main() -> None:
+    print(f"{UPDATES} display updates, {WIDTH}x{HEIGHT} console")
+    print()
+    header = (
+        f"{'loss':>5}  {'pixel-exact':>11}  {'recoveries':>10}  "
+        f"{'refreshes':>9}  {'NACKs':>6}  {'NACK bytes':>10}  {'time':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for loss_rate in LOSS_RATES:
+        channel = run_session(loss_rate)
+        exact = channel.converged and channel.resolved
+        console = channel.console_channel.stats
+        print(
+            f"{loss_rate:>5.0%}  {str(exact):>11}  {channel.recoveries:>10}  "
+            f"{channel.refreshes:>9}  {console.nacks_sent:>6}  "
+            f"{console.nack_bytes:>10,}  {channel.sim.now * 1000:>6.0f}ms"
+        )
+        if not exact:
+            raise SystemExit(f"FAILED: loss {loss_rate:.0%} did not converge")
+    print()
+    print("every session converged pixel-exact: in-band NACKs plus the")
+    print("status exchange recover all loss, with no out-of-band channel")
+
+
+if __name__ == "__main__":
+    main()

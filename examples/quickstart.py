@@ -2,50 +2,37 @@
 """Quickstart: a complete SLIM session in ~60 lines.
 
 Builds a server-side framebuffer and a console, connects them through
-the real wire format, paints a small desktop, and verifies that every
-pixel survived the trip — the core promise of the architecture: the
-console is a dumb frame buffer and the server owns the truth.
+the reliable display channel — SlimDriver -> wire format -> simulated
+switched fabric -> console decode — paints a small desktop, and verifies
+that every pixel survived the trip: the core promise of the
+architecture: the console is a dumb frame buffer and the server owns
+the truth.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
     Console,
-    Datagram,
+    DisplayChannel,
     FrameBuffer,
     PaintKind,
     PaintOp,
     Rect,
-    SlimDriver,
-    SlimEncoder,
-    WireCodec,
+    Simulator,
 )
 
 WIDTH, HEIGHT = 640, 480
 
 
 def main() -> None:
-    # Server side: the authoritative framebuffer and the virtual driver.
+    # Server side: the authoritative framebuffer.  The display channel
+    # owns the rest of the stack: fragmentation into datagrams, the
+    # switched fabric, reassembly, and the console's decode queue.
+    sim = Simulator()
     server_fb = FrameBuffer(WIDTH, HEIGHT)
-
-    # Console side: a dumb frame buffer fed by the wire codec.
-    console = Console(WIDTH, HEIGHT, record_service_times=True)
-    rx = WireCodec()
-
-    # The "network": encode each command into datagrams, parse them back.
-    tx = WireCodec()
-
-    def send(command) -> None:
-        for datagram in tx.fragment(command):
-            result = rx.accept(Datagram.from_bytes(datagram.to_bytes()))
-            if result is not None:
-                console.enqueue(result[0])
-
-    driver = SlimDriver(
-        encoder=SlimEncoder(materialize=True),
-        framebuffer=server_fb,
-        send=send,
-    )
+    console = Console(WIDTH, HEIGHT, sim=sim, record_service_times=True)
+    channel = DisplayChannel(server_fb, sim=sim, console=console)
+    driver = channel.make_driver()
 
     # Paint a small desktop: wallpaper, a terminal window with text, a
     # photo viewer, then scroll the terminal.
@@ -68,7 +55,8 @@ def main() -> None:
         ),
     ]
     for op in desktop:
-        driver.update(0.0, [op])  # the driver paints, encodes, and sends
+        driver.update(sim.now, [op])  # the driver paints, encodes, and sends
+        channel.run()  # the fabric delivers; the status exchange confirms
 
     # The console now holds exactly the server's pixels.
     match = server_fb.equals(console.framebuffer)
@@ -82,6 +70,7 @@ def main() -> None:
           f"(compression {raw / stats.payload_bytes:.1f}x)")
     total_ms = sum(console.stats.service_times) * 1000
     print(f"console decode time           : {total_ms:.2f} ms")
+    print(f"simulated session time        : {sim.now * 1000:.2f} ms")
     if not match:
         raise SystemExit("FAILED: framebuffers differ")
 

@@ -7,6 +7,8 @@ The package implements the complete SLIM system in simulation:
   encoder/decoder, console cost model, bandwidth allocation, sessions.
 * :mod:`repro.framebuffer` — rectangles, pixels, YUV, painting.
 * :mod:`repro.netsim` — the switched interconnection fabric.
+* :mod:`repro.transport` — the reliable display channel (loss
+  recovery by stateless re-encode, NACKs, status exchange).
 * :mod:`repro.console` — the Sun Ray 1 desktop unit.
 * :mod:`repro.server` — machines, CPU scheduling, display drivers, the
   x11perf model.
@@ -76,6 +78,7 @@ from repro.core import (
 from repro.console import Console, MicroOpModel
 from repro.server import SlimDriver, Scheduler, ServerHost
 from repro.netsim import Simulator, Network, Endpoint, Packet
+from repro.transport import DisplayChannel, ConsoleChannel, ServerChannel
 from repro.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.workloads import BENCHMARK_APPS, UserSession, run_user_study
 
@@ -123,6 +126,9 @@ __all__ = [
     "Network",
     "Endpoint",
     "Packet",
+    "DisplayChannel",
+    "ConsoleChannel",
+    "ServerChannel",
     "MetricsRegistry",
     "get_registry",
     "use_registry",

@@ -29,6 +29,7 @@ from repro.core.commands import (
     KeyEvent,
     MouseEvent,
     AudioData,
+    StatusKind,
     StatusMessage,
     SetCommand,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "KeyEvent",
     "MouseEvent",
     "AudioData",
+    "StatusKind",
     "StatusMessage",
     "WireCodec",
     "Datagram",

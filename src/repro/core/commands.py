@@ -277,6 +277,28 @@ class AudioData(Command):
         return self.nbytes
 
 
+class StatusKind(enum.IntEnum):
+    """``StatusMessage.kind`` values used by the display channel.
+
+    The paper's periodic status exchange doubles as the loss-recovery
+    control plane (Section 2.2): the server announces how far the
+    display stream has progressed, the console NACKs what it is missing,
+    and the server confirms each recovery so the console stops asking.
+    """
+
+    KEEPALIVE = 0
+    #: Server -> console: ``value`` = highest display seq sent so far.
+    SYNC = 1
+    #: Console -> server: ``value`` = a display seq the console lacks.
+    NACK = 2
+    #: Server -> console: ``value`` = a NACKed seq now superseded by a
+    #: fresh re-encode (or covered by a full refresh).
+    RECOVERED = 3
+    #: Console -> server: ``value`` = lowest display seq still missing
+    #: (everything below it has been received or recovered).
+    FRONTIER = 4
+
+
 @dataclass(frozen=True)
 class StatusMessage(Command):
     """Console <-> server status (liveness, flow control, geometry)."""

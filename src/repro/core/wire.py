@@ -11,11 +11,13 @@ message gets a 12-byte header::
 
 followed by an opcode-specific body.  Messages larger than the network MTU
 are fragmented into datagrams carrying an 8-byte fragment header; the
-receiving end reassembles by sequence number.  Loss handling is left to
-:mod:`repro.netsim.transport` — the protocol itself is idempotent, so
-recovery is simply replaying the named message ("all SLIM protocol
-messages contain unique identifiers and can be replayed with no ill
-effects").
+receiving end reassembles by sequence number.  Loss handling lives above
+this layer, in :mod:`repro.transport`: the sequence number names what was
+lost, and the server re-encodes the damaged screen region from its
+current framebuffer (the paper's "unique identifiers" make loss
+*detectable*; statelessness makes fresh re-encodes always safe, where a
+verbatim replay could resurrect a stale COPY source or overwrite newer
+content).
 """
 
 from __future__ import annotations

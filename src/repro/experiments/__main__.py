@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401
     fig10,
     fig11,
     fig12,
+    lossy_fabric,
     multimedia,
     scalability,
     table4,

@@ -91,7 +91,11 @@ class Simulator:
         try:
             while not self._stopped and self._queue and self._queue[0][0] <= deadline:
                 self.step()
-            if self.now < deadline:
+            # Only fast-forward the clock when the slice drained naturally:
+            # after stop() there may be events before the deadline still
+            # queued, and teleporting past them would let a later run
+            # execute them "in the past".
+            if not self._stopped and self.now < deadline:
                 self.now = deadline
         finally:
             self._running = False

@@ -28,11 +28,18 @@ QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 @dataclass
 class LinkStats:
-    """Counters a link maintains for analysis."""
+    """Counters a link maintains for analysis.
+
+    ``packets_dropped`` counts congestion drops at the output buffer
+    (queue tail-drops); ``packets_lost`` counts random in-flight losses
+    (corruption).  Figure 11's loss accounting needs them separate: the
+    former responds to load, the latter to the configured loss rate.
+    """
 
     packets_sent: int = 0
     bytes_sent: int = 0
     packets_dropped: int = 0
+    packets_lost: int = 0
     queue_delay_total: float = 0.0
     busy_time: float = 0.0
 
@@ -97,6 +104,7 @@ class Link:
             self._m_bytes = m.counter("net.link.bytes_sent", link=name)
             self._m_packets = m.counter("net.link.packets_sent", link=name)
             self._m_drops = m.counter("net.link.packets_dropped", link=name)
+            self._m_losses = m.counter("net.link.packets_lost", link=name)
             self._m_queue_depth = m.histogram(
                 "net.link.queue_depth", buckets=QUEUE_DEPTH_BUCKETS, link=name
             )
@@ -149,9 +157,9 @@ class Link:
             and float(self.rng.random()) < self.loss_rate
         )
         if lost:
-            self.stats.packets_dropped += 1
+            self.stats.packets_lost += 1
             if self._metrics.enabled:
-                self._m_drops.inc()
+                self._m_losses.inc()
         else:
             self.sim.schedule(
                 self.propagation_delay, lambda: self.deliver(packet)

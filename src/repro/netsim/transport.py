@@ -1,11 +1,16 @@
-"""Endpoints, topology wiring, and replay-based loss recovery.
+"""Endpoints, topology wiring, and packet-level gap detection.
 
-The SLIM protocol runs over unreliable datagrams; because every message
-has a unique identifier and is idempotent, loss recovery is simply
-"replay the named message" — no stop-and-wait, no cumulative ACKs
-(Section 2.2).  :class:`ReplayBuffer` implements the sender half (a ring
-of recently sent messages) and :class:`Endpoint` the receiver half (gap
-detection on sequence numbers + replay requests).
+The SLIM protocol runs over unreliable datagrams (Section 2.2).  This
+module is the *packet* layer: :class:`Endpoint` detects sequence gaps
+with a reorder-tolerance window and reports each missing seq exactly
+once; :class:`Network` builds the switched star fabric.  The display
+protocol's actual recovery lives in :mod:`repro.transport` — the server
+re-encodes damaged regions from its current framebuffer, because
+replaying old bytes verbatim is wrong for COPY (its source may have
+changed) and for ordering (a stale SET can overwrite newer content).
+:class:`ReplayBuffer` remains for flows whose messages really are
+immutable and idempotent (e.g. audio): a ring of recently sent messages
+served back by seq, with no stop-and-wait and no cumulative ACKs.
 """
 
 from __future__ import annotations
@@ -66,14 +71,31 @@ class ReplayBuffer:
         return len(self._messages)
 
 
+#: How many already-reported sequence numbers an endpoint remembers for
+#: deduplication before the oldest are forgotten.
+REPORTED_SEQ_MEMORY = 4096
+
+
 class Endpoint:
     """A network-attached node: receives packets, tracks sequence gaps.
+
+    Gap detection is reorder-tolerant: a hole in the sequence space is
+    only *suspected* when a higher seq arrives, and only *reported* (via
+    ``on_gap``) once ``reorder_window`` further packets have arrived
+    without the hole filling — the TCP fast-retransmit idea.  A plainly
+    reordered fabric therefore generates no recovery traffic, and each
+    missing seq is reported at most once (late arrivals and duplicates
+    cancel or dedupe the report) instead of re-firing on every
+    subsequent out-of-order packet.
 
     Args:
         address: Fabric address (must be unique in the network).
         on_receive: Callback invoked with each delivered packet.
         on_gap: Optional callback invoked with missing sequence numbers
             when a gap is detected in a flow tagged with integer seqs.
+        reorder_window: Packets a suspected hole may stay unfilled
+            before it is reported.  0 reports on the packet that exposes
+            the gap (the pre-reorder-tolerant behaviour).
     """
 
     def __init__(
@@ -81,13 +103,21 @@ class Endpoint:
         address: str,
         on_receive: Optional[Callable[[Packet], None]] = None,
         on_gap: Optional[Callable[[List[int]], None]] = None,
+        reorder_window: int = 3,
     ) -> None:
+        if reorder_window < 0:
+            raise SimulationError("reorder window cannot be negative")
         self.address = address
         self.on_receive = on_receive
         self.on_gap = on_gap
+        self.reorder_window = reorder_window
         self.packets_received = 0
         self.bytes_received = 0
         self._next_expected_seq: Optional[int] = None
+        #: Suspected-missing seq -> packets seen since it was suspected.
+        self._suspects: "OrderedDict[int, int]" = OrderedDict()
+        #: Seqs already handed to ``on_gap`` (bounded dedupe memory).
+        self._reported: "OrderedDict[int, None]" = OrderedDict()
         self.gaps_detected = 0
 
     def deliver(self, packet: Packet) -> None:
@@ -101,21 +131,37 @@ class Endpoint:
             self.on_receive(packet)
 
     def _track_seq(self, seq: int) -> None:
+        # A late (or duplicate) arrival fills its hole: no report needed.
+        self._suspects.pop(seq, None)
+        for suspect in self._suspects:
+            self._suspects[suspect] += 1
         if self._next_expected_seq is not None and seq > self._next_expected_seq:
-            missing = list(range(self._next_expected_seq, seq))
-            self.gaps_detected += 1
-            metrics = get_registry()
-            if metrics.enabled:
-                metrics.counter(
-                    "net.transport.gaps_detected", endpoint=self.address
-                ).inc()
-                metrics.counter(
-                    "net.transport.retransmits_requested", endpoint=self.address
-                ).inc(len(missing))
-            if self.on_gap is not None:
-                self.on_gap(missing)
+            for missing in range(self._next_expected_seq, seq):
+                if missing not in self._suspects and missing not in self._reported:
+                    self._suspects[missing] = 0
         if self._next_expected_seq is None or seq >= self._next_expected_seq:
             self._next_expected_seq = seq + 1
+        ripe = [s for s, age in self._suspects.items() if age >= self.reorder_window]
+        if ripe:
+            self._report_gap(sorted(ripe))
+
+    def _report_gap(self, missing: List[int]) -> None:
+        for seq in missing:
+            del self._suspects[seq]
+            self._reported[seq] = None
+        while len(self._reported) > REPORTED_SEQ_MEMORY:
+            self._reported.popitem(last=False)
+        self.gaps_detected += 1
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.counter(
+                "net.transport.gaps_detected", endpoint=self.address
+            ).inc()
+            metrics.counter(
+                "net.transport.retransmits_requested", endpoint=self.address
+            ).inc(len(missing))
+        if self.on_gap is not None:
+            self.on_gap(missing)
 
 
 class Network:

@@ -1,0 +1,63 @@
+"""Bounded sequence-number -> damage-region bookkeeping (server side).
+
+The stateless recovery scheme needs to know *which screen region* a lost
+message painted — not the message's bytes (replaying stale bytes is the
+scheme the paper rejects).  The server therefore remembers, per assigned
+wire sequence number, the rectangle the message damaged; non-display
+messages (status exchange, input echoes) are recorded as *ephemeral*
+entries so the sequence space stays airtight without implying any pixels
+to recover.
+
+The map is bounded: once a seq is evicted the server can no longer name
+its region and must fall back to a full-screen refresh, which is always
+correct (the framebuffer is the whole truth) just more expensive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.framebuffer.regions import Rect
+
+
+class DamageMap:
+    """A bounded FIFO map from wire seq to the region that message painted.
+
+    Args:
+        capacity: Entries retained; the oldest are evicted first.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ProtocolError("damage map capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Optional[Rect]]" = OrderedDict()
+        self.evictions = 0
+
+    def record(self, seq: int, rect: Optional[Rect]) -> None:
+        """Remember what ``seq`` damaged (``None`` = ephemeral message)."""
+        self._entries[seq] = rect
+        self._entries.move_to_end(seq)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def lookup(self, seq: int) -> Tuple[bool, Optional[Rect]]:
+        """``(known, rect)`` for a seq.
+
+        ``(True, rect)`` — a display message; recover by re-encoding
+        ``rect``.  ``(True, None)`` — an ephemeral message; nothing to
+        re-send.  ``(False, None)`` — evicted; only a full refresh can
+        cover it.
+        """
+        if seq in self._entries:
+            return True, self._entries[seq]
+        return False, None
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

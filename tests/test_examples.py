@@ -29,6 +29,13 @@ def test_quickstart_example(capsys):
     assert "pixels identical on both ends : True" in out
 
 
+def test_lossy_display_example(capsys):
+    run_example("lossy_display")
+    out = capsys.readouterr().out
+    assert "every session converged pixel-exact" in out
+    assert out.count("True") == 3  # one pixel-exact row per loss rate
+
+
 def test_hotdesking_example(capsys):
     run_example("hotdesking")
     out = capsys.readouterr().out

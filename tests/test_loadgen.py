@@ -168,6 +168,73 @@ class TestNetworkYardstick:
         sim.run_until(1.0)
         assert yardstick.loss_rate() == 0.0
 
+    def test_response_loss_times_out_and_recovers(self):
+        """A lost response is retried after 500 ms and counted exactly once."""
+        sim, network, yardstick = self.make()
+        real_send = network.send
+        state = {"swallowed": 0}
+
+        def swallow_first_response(packet):
+            if packet.flow == "yardstick-response" and state["swallowed"] == 0:
+                state["swallowed"] += 1
+                return True
+            return real_send(packet)
+
+        network.send = swallow_first_response
+        yardstick.start()
+        sim.run_until(3.0)
+        assert state["swallowed"] == 1
+        assert yardstick.lost == 1
+        # The probe loop did not wedge: it resumed after the timeout.
+        assert len(yardstick.rtts) >= 10
+        assert yardstick.loss_rate() == pytest.approx(
+            1 / (len(yardstick.rtts) + 1)
+        )
+
+    def test_late_response_is_not_double_counted(self):
+        """A response arriving after its timeout is ignored, not re-scored."""
+        sim, network, yardstick = self.make()
+        real_send = network.send
+        held = []
+
+        def hold_first_response(packet):
+            if packet.flow == "yardstick-response" and not held:
+                held.append(packet)
+                return True
+            return real_send(packet)
+
+        network.send = hold_first_response
+        yardstick.start()
+        console = network.endpoint("console")
+        # Hand the held response over well after the 500 ms timeout fired
+        # (by then a newer probe round is in flight).
+        sim.schedule(1.0, lambda: console.deliver(held[0]))
+        sim.run_until(3.0)
+        assert yardstick.lost == 1  # the timeout, counted exactly once
+        # The stale response recorded no RTT for the dead round and the
+        # probe loop kept going at its normal cadence.
+        assert len(yardstick.rtts) >= 10
+
+    def test_loss_rate_matches_injected_request_drops(self):
+        sim, network, yardstick = self.make()
+        real_send = network.send
+        state = {"requests": 0}
+
+        def drop_every_third_request(packet):
+            if packet.flow == "yardstick-request":
+                state["requests"] += 1
+                if state["requests"] % 3 == 0:
+                    return False  # the uplink refused the packet
+            return real_send(packet)
+
+        network.send = drop_every_third_request
+        yardstick.start()
+        sim.run_until(6.0)
+        assert yardstick.lost == state["requests"] // 3
+        expected = yardstick.lost / (len(yardstick.rtts) + yardstick.lost)
+        assert yardstick.loss_rate() == pytest.approx(expected)
+        assert yardstick.loss_rate() == pytest.approx(1 / 3, abs=0.05)
+
     def test_contention_raises_rtt(self, rng):
         sim, network, yardstick = self.make()
         network.attach(Endpoint("sink"))

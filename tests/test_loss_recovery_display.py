@@ -1,130 +1,33 @@
 """End-to-end loss recovery for display traffic.
 
-Section 2.2's design claim under test: SLIM's "application-specific
-error recovery scheme allows for more efficient recovery than packet
-replay".  Replaying an old command verbatim would be wrong for COPY
-(its source may have changed) and for ordering (a stale SET can
-overwrite newer content); the faithful scheme re-encodes the *current*
-server framebuffer contents of the damaged region as fresh messages —
-idempotent, order-safe, and exactly what a stateless console needs.
-
-A full desktop session is pushed through a lossy fabric; the console's
-sequence-gap detection triggers region re-encodes; the test ends with
-the console pixel-exact against the server.
+These tests drive the production recovery subsystem —
+:class:`repro.transport.DisplayChannel` — which implements Section 2.2's
+scheme for real: the console NACKs missing seqs with in-band packets
+over the reverse path, the server re-encodes the damaged regions from
+its *current* framebuffer (never replaying stale bytes), and the
+periodic status exchange bounds tail-loss recovery.  See DESIGN.md
+section 8 for the architecture.  There is no out-of-band settle or
+refresh loop here: ``sim.run()`` drains once the status exchange has
+confirmed convergence.
 """
 
 import numpy as np
 import pytest
 
-from repro.core.encoder import SlimEncoder
-from repro.core.wire import WireCodec
-from repro.console import Console
 from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Rect
-from repro.netsim import Endpoint, Network, Packet, Simulator
-from repro.server.slimdriver import SlimDriver
-from repro.units import ETHERNET_100
+from repro.transport import DisplayChannel
 
 
-class LossyDisplayChannel:
-    """Server->console display path over a lossy link with region recovery.
-
-    The server remembers, per wire sequence number, which screen region
-    the message painted.  When the console's endpoint reports a sequence
-    gap, the server re-encodes those regions from its *current*
-    framebuffer and sends them as new messages.  A final full-screen
-    refresh covers trailing losses (the real system hangs this off its
-    periodic status exchange).
-    """
-
-    def __init__(self, server_fb: FrameBuffer, loss_rate: float, seed: int = 0):
-        self.sim = Simulator()
-        self.network = Network(self.sim, default_rate_bps=ETHERNET_100)
-        self.server_fb = server_fb
-        self.console = Console(
-            server_fb.width, server_fb.height, sim=self.sim, address="console"
-        )
-        self.tx = WireCodec()
-        # Recovery uses small tiles: a message is lost if *any* of its
-        # fragments is, so small units converge much faster on a lossy
-        # link (large SET tiles at 20% packet loss fail ~90% of sends).
-        from repro.core.encoder import EncoderConfig
-
-        self.encoder = SlimEncoder(
-            config=EncoderConfig(tile_w=24, tile_h=24), materialize=True
-        )
-        self.region_of_seq = {}
-        self.recoveries = 0
-
-        self.network.attach(
-            Endpoint(
-                "console",
-                on_receive=self.console.receive_packet,
-                on_gap=self._on_gap,
-            )
-        )
-        self.network.attach(
-            Endpoint("server"),
-            loss_rate=loss_rate,
-            rng=np.random.default_rng(seed),
-        )
-
-    # -- normal sending -------------------------------------------------------
-    def send_command(self, command) -> None:
-        seq = self.tx.next_seq()
-        if hasattr(command, "rect"):
-            self.region_of_seq[seq] = command.rect
-        for datagram in self.tx.fragment(command, seq=seq):
-            self.network.send(
-                Packet(
-                    src="server",
-                    dst="console",
-                    nbytes=datagram.wire_nbytes,
-                    payload=datagram,
-                )
-            )
-
-    # -- recovery ----------------------------------------------------------------
-    def _on_gap(self, missing) -> None:
-        """Re-encode the damaged regions' current contents (no replay)."""
-        for seq in missing:
-            rect = self.region_of_seq.get(seq)
-            if rect is None:
-                continue
-            self.recoveries += 1
-            self.console.codec.drop_partial(seq)
-            for command in self.encoder.encode_damage(self.server_fb, [rect]):
-                self.send_command(command)
-
-    def refresh_screen(self) -> None:
-        """Full-screen refresh: recovers any trailing losses."""
-        for command in self.encoder.encode_damage(
-            self.server_fb, [self.server_fb.bounds]
-        ):
-            self.send_command(command)
-
-    def settle(self, rounds: int = 25) -> None:
-        """Drain the fabric, refreshing until the console converges.
-
-        Refreshes themselves can be lost, so iterate; each round is a
-        full-screen re-encode of current state (idempotent).
-        """
-        for _ in range(rounds):
-            self.sim.run()
-            if self.server_fb.equals(self.console.framebuffer):
-                return
-            self.refresh_screen()
-        self.sim.run()
+def make_channel(loss_rate, seed=42, **kwargs):
+    server_fb = FrameBuffer(160, 120)
+    channel = DisplayChannel(server_fb, loss_rate=loss_rate, seed=seed, **kwargs)
+    driver = channel.make_driver(track_baselines=False)
+    return server_fb, channel, driver
 
 
 @pytest.mark.parametrize("loss_rate", [0.05, 0.2])
 def test_display_session_survives_loss(loss_rate):
-    server_fb = FrameBuffer(160, 120)
-    channel = LossyDisplayChannel(server_fb, loss_rate=loss_rate, seed=42)
-    driver = SlimDriver(
-        encoder=SlimEncoder(materialize=True),
-        framebuffer=server_fb,
-        send=channel.send_command,
-    )
+    server_fb, channel, driver = make_channel(loss_rate)
     rng = np.random.default_rng(7)
     from repro.workloads.apps import NETSCAPE
 
@@ -134,60 +37,134 @@ def test_display_session_survives_loss(loss_rate):
     for i in range(15):
         ops = display.sample_update(rng, seed=i)
         driver.update(float(i), ops)
-        channel.sim.run()  # let the fabric drain between updates
+        channel.sim.run()  # drains: the status timer stops at convergence
 
-    channel.settle()
     assert server_fb.equals(channel.console.framebuffer)
-    # The lossy run must actually have exercised recovery.
-    assert channel.recoveries > 0 or loss_rate == 0.0
+    assert channel.resolved
+    # The lossy run must actually have exercised in-band recovery.
+    assert channel.recoveries > 0
+    assert channel.console_channel.stats.nacks_sent > 0
+    # NACKs are real packets: they crossed the console's uplink.
+    assert channel.network.uplink("console").stats.packets_sent > 0
+
+
+def test_tail_loss_recovered_by_status_exchange():
+    """The last update of a burst is recovered with no later data packet."""
+    server_fb, channel, driver = make_channel(0.0)
+    driver.update(
+        0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 160, 120), color=(10, 20, 30))]
+    )
+    channel.sim.run()
+    assert server_fb.equals(channel.console.framebuffer)
+
+    # Lose *every* packet of the final update: nothing afterwards exposes
+    # the gap except the periodic SYNC.
+    real_send = channel.network.send
+    channel.network.send = lambda packet: True
+    driver.update(
+        1.0, [PaintOp(PaintKind.FILL, Rect(30, 30, 40, 40), color=(200, 0, 0))]
+    )
+    channel.network.send = real_send
+    channel.sim.run()
+    assert server_fb.equals(channel.console.framebuffer)
+    assert channel.console.framebuffer.pixel(35, 35) == (200, 0, 0)
+    assert channel.console_channel.stats.nacks_sent > 0
+    assert channel.console_channel.stats.syncs_received > 0
 
 
 def test_gap_recovery_handles_copy_safely():
     """A lost COPY whose source later changes must not corrupt the screen."""
-    server_fb = FrameBuffer(160, 120)
-    channel = LossyDisplayChannel(server_fb, loss_rate=0.0)
-    driver = SlimDriver(
-        encoder=SlimEncoder(materialize=True),
-        framebuffer=server_fb,
-        send=channel.send_command,
-    )
+    server_fb, channel, driver = make_channel(0.0)
     driver.update(
         0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
     )
-    # Simulate losing the COPY: paint it on the server but route its
-    # command into the void, then mutate the source.
-    sink = []
-    driver.send = sink.append
+    channel.sim.run()
+    # Lose the COPY on the wire (the server still painted and sequenced
+    # it), then mutate the source region.
+    real_send = channel.network.send
+    channel.network.send = lambda packet: True
     driver.update(
         1.0, [PaintOp(PaintKind.COPY, Rect(40, 0, 16, 16), src=Rect(0, 0, 16, 16))]
     )
-    lost_seq = channel.tx.next_seq()  # the seq the COPY would have used
-    channel.region_of_seq[lost_seq] = Rect(40, 0, 16, 16)
-    driver.send = channel.send_command
+    channel.network.send = real_send
     driver.update(
         2.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(0, 200, 0))]
     )
     channel.sim.run()
     # Recovery of the lost region re-encodes *current* pixels (red square
     # at the destination), not the stale COPY.
-    channel._on_gap([lost_seq])
-    channel.sim.run()
     assert server_fb.equals(channel.console.framebuffer)
     assert channel.console.framebuffer.pixel(45, 5) == (200, 0, 0)
     assert channel.console.framebuffer.pixel(5, 5) == (0, 200, 0)
+    assert channel.recoveries > 0
+
+
+def test_delivered_copy_from_lost_region_is_repaired():
+    """A COPY that *arrives* but read a lost region must be repaired too.
+
+    The console applied the COPY against stale source pixels; recovering
+    only the lost rect would leave the copy's destination wrong (while
+    every seq resolves cleanly).  The server must chase the damage
+    through later copies.
+    """
+    server_fb, channel, driver = make_channel(0.0)
+    driver.update(
+        0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(10, 10, 10))]
+    )
+    channel.sim.run()
+    # Lose a repaint of the source region...
+    real_send = channel.network.send
+    channel.network.send = lambda packet: True
+    driver.update(
+        1.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
+    )
+    channel.network.send = real_send
+    # ...then deliver a COPY that reads it, and a second-hop COPY of the
+    # first copy's destination (the chain must be chased transitively).
+    driver.update(
+        2.0, [PaintOp(PaintKind.COPY, Rect(40, 0, 16, 16), src=Rect(0, 0, 16, 16))]
+    )
+    driver.update(
+        3.0, [PaintOp(PaintKind.COPY, Rect(80, 0, 16, 16), src=Rect(40, 0, 16, 16))]
+    )
+    channel.sim.run()
+    assert channel.console.framebuffer.pixel(5, 5) == (200, 0, 0)
+    assert channel.console.framebuffer.pixel(45, 5) == (200, 0, 0)
+    assert channel.console.framebuffer.pixel(85, 5) == (200, 0, 0)
+    assert server_fb.equals(channel.console.framebuffer)
+    assert channel.recoveries > 0
 
 
 def test_no_loss_no_recovery():
-    server_fb = FrameBuffer(160, 120)
-    channel = LossyDisplayChannel(server_fb, loss_rate=0.0)
-    driver = SlimDriver(
-        encoder=SlimEncoder(materialize=True),
-        framebuffer=server_fb,
-        send=channel.send_command,
-    )
+    server_fb, channel, driver = make_channel(0.0)
     driver.update(
         0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 160, 120), color=(9, 9, 9))]
     )
     channel.sim.run()
     assert channel.recoveries == 0
+    assert channel.refreshes == 0
+    assert channel.console_channel.stats.nacks_sent == 0
+    assert channel.server_channel.stats.nacks_received == 0
     assert server_fb.equals(channel.console.framebuffer)
+
+
+def test_damage_map_eviction_falls_back_to_refresh():
+    """A NACK for an evicted seq triggers exactly one full refresh."""
+    server_fb, channel, driver = make_channel(0.0, damage_capacity=4)
+    # Burn through the damage map with many small updates, losing one
+    # early update entirely.
+    real_send = channel.network.send
+    channel.network.send = lambda packet: True
+    driver.update(
+        0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 8, 8), color=(50, 60, 70))]
+    )
+    channel.network.send = real_send
+    for i in range(8):
+        driver.update(
+            1.0 + i,
+            [PaintOp(PaintKind.FILL, Rect(8 * (i + 1), 0, 8, 8), color=(i, i, i))],
+        )
+    channel.sim.run()
+    assert server_fb.equals(channel.console.framebuffer)
+    assert channel.refreshes >= 1
+    assert channel.resolved

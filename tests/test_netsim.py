@@ -47,6 +47,23 @@ class TestSimulator:
         assert sim.now == pytest.approx(1.5)
         assert sim.pending == 1
 
+    def test_run_until_stop_does_not_teleport_clock(self):
+        """stop() mid-slice must leave the clock at the aborted event."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.1, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(0.2, lambda: fired.append(2))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(0.1)  # not teleported to 5.0
+        assert sim.pending == 1
+        # Resuming still runs the leftover event at its original time.
+        times = []
+        sim.schedule(0.0, lambda: times.append(sim.now))
+        sim.run_until(5.0)
+        assert sim.now == pytest.approx(5.0)
+        assert fired[-1] == 2
+
     def test_events_can_schedule_events(self):
         sim = Simulator()
         fired = []
@@ -123,6 +140,7 @@ class TestLink:
         sim.run()
         assert sent.count(False) >= 1
         assert link.stats.packets_dropped >= 1
+        assert link.stats.packets_lost == 0  # congestion, not corruption
 
     def test_loss_requires_rng(self):
         sim = Simulator()
@@ -139,6 +157,9 @@ class TestLink:
             link.send(Packet(src="a", dst="b", nbytes=100))
         sim.run()
         assert 60 < len(delivered) < 140
+        # Wire corruption is accounted separately from queue tail-drops.
+        assert link.stats.packets_lost == 200 - len(delivered)
+        assert link.stats.packets_dropped == 0
 
     def test_utilization(self):
         sim, link, _ = self.make_link(rate=1 * MBPS)
@@ -230,19 +251,73 @@ class TestSwitchAndNetwork:
         assert switch.packets_unrouteable == 1
 
 
+class _Tagged:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def _tagged(seq):
+    return Packet(src="a", dst="rx", nbytes=10, payload=_Tagged(seq))
+
+
 class TestGapDetectionAndReplay:
-    def test_gap_detection(self):
+    def test_gap_detection_immediate_with_zero_window(self):
         gaps = []
-        endpoint = Endpoint("rx", on_gap=gaps.append)
-
-        class Tagged:
-            def __init__(self, seq):
-                self.seq = seq
-
+        endpoint = Endpoint("rx", on_gap=gaps.append, reorder_window=0)
         for seq in (0, 1, 4):
-            endpoint.deliver(Packet(src="a", dst="rx", nbytes=10, payload=Tagged(seq)))
+            endpoint.deliver(_tagged(seq))
         assert gaps == [[2, 3]]
         assert endpoint.gaps_detected == 1
+
+    def test_reordering_does_not_fire_gap(self):
+        """A merely reordered stream must produce zero recovery traffic."""
+        gaps = []
+        endpoint = Endpoint("rx", on_gap=gaps.append)
+        for seq in (0, 2, 1, 4, 3, 5):
+            endpoint.deliver(_tagged(seq))
+        assert gaps == []
+        assert endpoint.gaps_detected == 0
+
+    def test_gap_reported_once_window_expires(self):
+        gaps = []
+        endpoint = Endpoint("rx", on_gap=gaps.append, reorder_window=3)
+        # Seq 1 goes missing; the window counts packets seen afterwards.
+        for seq in (0, 2, 3, 4):
+            endpoint.deliver(_tagged(seq))
+        assert gaps == []  # only 2 packets seen since the suspicion
+        endpoint.deliver(_tagged(5))
+        assert gaps == [[1]]
+        assert endpoint.gaps_detected == 1
+
+    def test_gap_not_refired_on_later_reordering(self):
+        """A reported seq is remembered: later packets never re-report it."""
+        gaps = []
+        endpoint = Endpoint("rx", on_gap=gaps.append, reorder_window=0)
+        endpoint.deliver(_tagged(0))
+        endpoint.deliver(_tagged(3))  # reports [1, 2]
+        assert gaps == [[1, 2]]
+        # The very-late originals finally arrive, then the stream resumes:
+        # the already-reported seqs must not be reported a second time.
+        endpoint.deliver(_tagged(1))
+        endpoint.deliver(_tagged(2))
+        endpoint.deliver(_tagged(4))
+        assert gaps == [[1, 2]]
+        assert endpoint.gaps_detected == 1
+
+    def test_late_arrival_cancels_suspicion(self):
+        gaps = []
+        endpoint = Endpoint("rx", on_gap=gaps.append, reorder_window=2)
+        endpoint.deliver(_tagged(0))
+        endpoint.deliver(_tagged(3))  # suspects 1 and 2
+        endpoint.deliver(_tagged(1))  # fills one hole within the window
+        endpoint.deliver(_tagged(4))
+        endpoint.deliver(_tagged(5))
+        assert gaps == [[2]]  # only the genuinely lost seq is reported
+        assert endpoint.gaps_detected == 1
+
+    def test_negative_reorder_window_rejected(self):
+        with pytest.raises(SimulationError):
+            Endpoint("rx", reorder_window=-1)
 
     def test_replay_buffer_serves_recent(self):
         buffer = ReplayBuffer(capacity=4)
