@@ -9,7 +9,13 @@ architecture: the console is a dumb frame buffer and the server owns
 the truth.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --capture /tmp/q.slimcap
+      python -m repro.tools.slimcap /tmp/q.slimcap --summary
 """
+
+import argparse
+from contextlib import nullcontext
+from pathlib import Path
 
 from repro import (
     Console,
@@ -20,19 +26,38 @@ from repro import (
     Rect,
     Simulator,
 )
+from repro.obs import ObsContext, SlimcapWriter, TraceCollector, use_obs
 
 WIDTH, HEIGHT = 640, 480
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="A complete SLIM session in ~60 lines."
+    )
+    parser.add_argument(
+        "--capture",
+        type=Path,
+        metavar="PATH",
+        help="record a .slimcap wire capture (with causal traces) of the "
+        "session, for python -m repro.tools.slimcap",
+    )
+    args = parser.parse_args(argv)
+
+    observing = args.capture is not None
+    tracer = TraceCollector() if observing else None
+    writer = SlimcapWriter(args.capture) if observing else None
+    obs = ObsContext(tracer=tracer, capture=writer) if observing else None
+
     # Server side: the authoritative framebuffer.  The display channel
     # owns the rest of the stack: fragmentation into datagrams, the
     # switched fabric, reassembly, and the console's decode queue.
-    sim = Simulator()
-    server_fb = FrameBuffer(WIDTH, HEIGHT)
-    console = Console(WIDTH, HEIGHT, sim=sim, record_service_times=True)
-    channel = DisplayChannel(server_fb, sim=sim, console=console)
-    driver = channel.make_driver()
+    with use_obs(obs) if observing else nullcontext():
+        sim = Simulator()
+        server_fb = FrameBuffer(WIDTH, HEIGHT)
+        console = Console(WIDTH, HEIGHT, sim=sim, record_service_times=True)
+        channel = DisplayChannel(server_fb, sim=sim, console=console)
+        driver = channel.make_driver()
 
     # Paint a small desktop: wallpaper, a terminal window with text, a
     # photo viewer, then scroll the terminal.
@@ -71,6 +96,15 @@ def main() -> None:
     total_ms = sum(console.stats.service_times) * 1000
     print(f"console decode time           : {total_ms:.2f} ms")
     print(f"simulated session time        : {sim.now * 1000:.2f} ms")
+    if writer is not None:
+        for trace in tracer.completed_messages():
+            writer.trace(trace.to_dict(), now=trace.sent_at)
+        writer.close()
+        print(
+            f"wire capture                  : {args.capture} "
+            f"({writer.frames_written} frames, "
+            f"{writer.traces_written} causal traces)"
+        )
     if not match:
         raise SystemExit("FAILED: framebuffers differ")
 

@@ -35,6 +35,7 @@ from repro.framebuffer.framebuffer import FrameBuffer
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.units import ETHERNET_100
 
@@ -74,6 +75,9 @@ class Console:
         record_service_times: Keep per-command service times (Figure 7).
         registry: Telemetry sink; defaults to the process-global
             registry (a no-op unless telemetry is enabled).
+        obs: Observability context; defaults to the process-global one
+            (usually ``None``).  Supplies the causal tracer that stamps
+            decode-start and paint times on traced commands.
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class Console:
         link_rate_bps: float = ETHERNET_100,
         record_service_times: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.framebuffer = FrameBuffer(width, height)
         self.timing = timing if timing is not None else MicroOpModel()
@@ -104,6 +109,8 @@ class Console:
         self.on_input: Optional[Callable[[cmd.Command], None]] = None
         #: Virtual clock used when running stand-alone (no simulator).
         self.virtual_time = 0.0
+        obs = obs if obs is not None else get_obs()
+        self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
         if self._metrics.enabled:
             m = self._metrics
@@ -199,6 +206,8 @@ class Console:
             self.stats.commands_dropped += 1
             if self._metrics.enabled:
                 self._m_dropped.inc()
+            if self._trace is not None and self.sim is not None:
+                self._trace.command_dropped(command, self.sim.now)
             return False
         self._queue.append(command)
         if self._metrics.enabled:
@@ -218,6 +227,8 @@ class Console:
         command = self._queue.pop(0)
         service = self.service_time(command)
         materialized = not self._is_accounting_only(command)
+        if self._trace is not None:
+            self._trace.decode_start(command, self.sim.now)
 
         def finish() -> None:
             if materialized:
@@ -228,6 +239,8 @@ class Console:
                 self.stats.service_times.append(service)
             if self._metrics.enabled:
                 self._record_decode(command, service)
+            if self._trace is not None:
+                self._trace.painted(command, self.sim.now)
             self._decoding = False
             self._maybe_start_decode()
 

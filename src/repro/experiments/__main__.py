@@ -6,11 +6,14 @@ Usage::
     python -m repro.experiments fig9 fig11         # a subset
     python -m repro.experiments --list             # what's available
     python -m repro.experiments --metrics table4   # + telemetry report
+    python -m repro.experiments --capture run.slimcap lossy   # wire capture
+    python -m repro.experiments --trace-events t.json lossy   # Chrome trace
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -35,6 +38,13 @@ from repro.experiments import (  # noqa: F401
     table5,
 )
 from repro.experiments.runner import EXPERIMENTS, ExperimentConfig, render_table
+from repro.obs import (
+    ObsContext,
+    SlimcapWriter,
+    TraceCollector,
+    chrome_trace_events,
+    use_obs,
+)
 from repro.telemetry import (
     MetricsRegistry,
     render_json,
@@ -80,6 +90,18 @@ def main(argv=None) -> int:
         default=None,
         help="simulated-user-count override (where applicable)",
     )
+    parser.add_argument(
+        "--capture",
+        metavar="PATH",
+        help="record wire traffic + causal traces to a .slimcap file "
+        "(analyze with python -m repro.tools.slimcap)",
+    )
+    parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        help="write causal update traces as Chrome trace_event JSON "
+        "(load in about:tracing / Perfetto)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -102,16 +124,41 @@ def main(argv=None) -> int:
         registry=registry,
     )
 
+    observing = args.capture is not None or args.trace_events is not None
+    tracer = TraceCollector() if observing else None
+    writer = SlimcapWriter(args.capture) if args.capture is not None else None
+    obs = ObsContext(tracer=tracer, capture=writer) if observing else None
+
     results = []
     with use_registry(registry) if collect else _null_context():
-        for experiment_id in selected:
-            started = time.time()
-            result = EXPERIMENTS[experiment_id].runner(config)
-            results.append(result)
-            print(render_table(result))
-            print(f"  ({time.time() - started:.1f}s)")
-            print()
+        with use_obs(obs) if observing else _null_context():
+            for experiment_id in selected:
+                started = time.time()
+                result = EXPERIMENTS[experiment_id].runner(config)
+                results.append(result)
+                print(render_table(result))
+                print(f"  ({time.time() - started:.1f}s)")
+                print()
 
+    if writer is not None:
+        # Embed the completed causal traces so the capture file carries
+        # both the wire view and the latency decomposition.
+        for trace in tracer.completed_messages():
+            writer.trace(trace.to_dict(), now=trace.sent_at)
+        writer.close()
+        print(
+            f"wire capture written to {args.capture} "
+            f"({writer.frames_written} frames, "
+            f"{writer.traces_written} traces)"
+        )
+    if args.trace_events is not None:
+        document = chrome_trace_events(tracer.completed_messages())
+        with open(args.trace_events, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        print(
+            f"{len(document['traceEvents'])} Chrome trace events "
+            f"written to {args.trace_events}"
+        )
     if registry is not None:
         print(render_report(registry, title="telemetry report"))
         if args.metrics_json:

@@ -16,9 +16,12 @@ from collections import deque
 
 import numpy as np
 
+from repro.core.wire import Datagram
 from repro.errors import SimulationError
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
+from repro.obs.capture import KIND_DROP, KIND_FRAME, KIND_LOSS
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.units import transmission_delay
 
@@ -66,6 +69,11 @@ class Link:
         name: Label used in diagnostics.
         registry: Telemetry sink; defaults to the process-global
             registry (a no-op unless telemetry is enabled).
+        obs: Observability context; defaults to the process-global one
+            (usually ``None``).  Supplies the causal tracer.  Wire
+            capture is separate: set :attr:`capture` on the links that
+            should record frames (the network taps uplinks only, so
+            each frame is captured exactly once).
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class Link:
         rng: Optional[np.random.Generator] = None,
         name: str = "link",
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if rate_bps <= 0:
             raise SimulationError(f"link rate must be positive, got {rate_bps}")
@@ -98,6 +107,11 @@ class Link:
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
         self._busy = False
+        obs = obs if obs is not None else get_obs()
+        self._trace = obs.tracer if obs is not None else None
+        #: Wire-capture tap; assign a SlimcapWriter to record this
+        #: link's frames (drops and losses included).
+        self.capture = None
         self._metrics = registry if registry is not None else get_registry()
         if self._metrics.enabled:
             m = self._metrics
@@ -122,7 +136,17 @@ class Link:
             self.stats.packets_dropped += 1
             if self._metrics.enabled:
                 self._m_drops.inc()
+            if self.capture is not None and isinstance(packet.payload, Datagram):
+                self.capture.frame(
+                    self.sim.now, packet.src, packet.dst, packet.payload,
+                    kind=KIND_DROP,
+                )
             return False
+        if self._trace is not None and packet.trace_id is not None:
+            self._trace.packet_event(
+                packet.trace_id, packet.packet_id, "enqueue", self.name,
+                self.sim.now,
+            )
         self._queue.append((packet, self.sim.now))
         self._queued_bytes += packet.nbytes
         if self._metrics.enabled:
@@ -141,6 +165,11 @@ class Link:
         self.stats.queue_delay_total += self.sim.now - enqueued_at
         if self._metrics.enabled:
             self._m_residency.observe(self.sim.now - enqueued_at)
+        if self._trace is not None and packet.trace_id is not None:
+            self._trace.packet_event(
+                packet.trace_id, packet.packet_id, "tx_start", self.name,
+                self.sim.now,
+            )
         serialization = transmission_delay(packet.nbytes, self.rate_bps)
         self.stats.busy_time += serialization
         self.sim.schedule(serialization, lambda: self._finish_serialization(packet))
@@ -156,16 +185,43 @@ class Link:
             and self.rng is not None
             and float(self.rng.random()) < self.loss_rate
         )
+        if self._trace is not None and packet.trace_id is not None:
+            self._trace.packet_event(
+                packet.trace_id, packet.packet_id, "tx_end", self.name,
+                self.sim.now,
+            )
+        if self.capture is not None and isinstance(packet.payload, Datagram):
+            self.capture.frame(
+                self.sim.now, packet.src, packet.dst, packet.payload,
+                kind=KIND_LOSS if lost else KIND_FRAME,
+            )
         if lost:
             self.stats.packets_lost += 1
             if self._metrics.enabled:
                 self._m_losses.inc()
+        elif self._trace is not None and packet.trace_id is not None:
+            self.sim.schedule(
+                self.propagation_delay, lambda: self._deliver_traced(packet)
+            )
         else:
             self.sim.schedule(
                 self.propagation_delay, lambda: self.deliver(packet)
             )
         # The wire frees up as soon as the last bit leaves.
         self._transmit_next()
+
+    def _deliver_traced(self, packet: Packet) -> None:
+        """Record arrival at the far end, then hand the packet over.
+
+        The "deliver" event lands immediately before the endpoint's
+        processing, so a reassembly completing inside it can identify
+        this packet as the one that finished the message.
+        """
+        self._trace.packet_event(
+            packet.trace_id, packet.packet_id, "deliver", self.name,
+            self.sim.now,
+        )
+        self.deliver(packet)
 
     # -- introspection -----------------------------------------------------------
     @property

@@ -23,6 +23,10 @@ class Packet:
             or an experiment-specific marker; never inspected by the fabric.
         flow: Optional flow label for per-flow statistics.
         created_at: Simulation time the packet entered the network.
+        trace_id: Causal-trace identifier (:mod:`repro.obs`) stamped by
+            the sending channel; ``None`` when tracing is off.  The
+            fabric never inspects it — links just report events against
+            it so the collector can rebuild the packet's itinerary.
     """
 
     src: str
@@ -31,6 +35,7 @@ class Packet:
     payload: Any = None
     flow: Optional[str] = None
     created_at: float = 0.0
+    trace_id: Optional[int] = None
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:

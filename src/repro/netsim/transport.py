@@ -25,6 +25,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.switch import Switch
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 
@@ -180,11 +181,13 @@ class Network:
         propagation_delay: float = 5e-6,
         forwarding_delay: float = 5e-6,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.sim = sim
         self.default_rate_bps = default_rate_bps
         self.propagation_delay = propagation_delay
         self._registry = registry
+        self._obs = obs if obs is not None else get_obs()
         self.switch = Switch(sim, forwarding_delay=forwarding_delay, registry=registry)
         self._endpoints: Dict[str, Endpoint] = {}
         self._uplinks: Dict[str, Link] = {}   # endpoint -> switch
@@ -211,6 +214,7 @@ class Network:
             rng=rng,
             name=f"{endpoint.address}->switch",
             registry=self._registry,
+            obs=self._obs,
         )
         downlink = Link(
             self.sim,
@@ -222,7 +226,12 @@ class Network:
             rng=rng,
             name=f"switch->{endpoint.address}",
             registry=self._registry,
+            obs=self._obs,
         )
+        if self._obs is not None and self._obs.capture is not None:
+            # Tap uplinks only: every frame enters the fabric exactly
+            # once, so the capture sees each datagram exactly once.
+            uplink.capture = self._obs.capture
         self.switch.attach_port(endpoint.address, downlink)
         self._endpoints[endpoint.address] = endpoint
         self._uplinks[endpoint.address] = uplink

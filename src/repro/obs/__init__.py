@@ -1,0 +1,58 @@
+"""repro.obs — causal update tracing and SLIM wire capture.
+
+The observability layer turns the telemetry subsystem's aggregates into
+per-event evidence:
+
+* :class:`~repro.obs.causal.TraceCollector` assigns a ``trace_id``
+  where each display update (or input event) is born and follows it
+  through encode, fragmentation, the fabric's links and switch,
+  reassembly, decode, and paint — yielding a stage-by-stage latency
+  breakdown per update whose stages sum exactly to the observed
+  end-to-end simulated latency.
+* :class:`~repro.obs.capture.SlimcapWriter` records the framed protocol
+  messages crossing any tapped link into a compact ``.slimcap`` file;
+  ``python -m repro.tools.slimcap`` turns a capture into Table-4-style
+  per-command statistics, latency tables, NACK/retransmission
+  timelines, and Chrome ``trace_event`` JSON.
+* :class:`~repro.obs.context.ObsContext` (via :func:`use_obs`) installs
+  both for a run; the experiment CLI's ``--capture`` and
+  ``--trace-events`` flags do this for you.
+
+Everything is off by default and the disabled path costs a single
+``is None`` check per hook — no allocations, no null objects.
+"""
+
+from repro.obs.capture import (
+    CapturedMessage,
+    CaptureRecord,
+    SlimcapReader,
+    SlimcapWriter,
+    is_slimcap,
+)
+from repro.obs.causal import (
+    STAGES,
+    MessageTrace,
+    TraceCollector,
+    UpdateTrace,
+    chrome_trace_events,
+    stage_percentiles,
+)
+from repro.obs.context import ObsContext, get_obs, set_obs, use_obs
+
+__all__ = [
+    "STAGES",
+    "CaptureRecord",
+    "CapturedMessage",
+    "MessageTrace",
+    "ObsContext",
+    "SlimcapReader",
+    "SlimcapWriter",
+    "TraceCollector",
+    "UpdateTrace",
+    "chrome_trace_events",
+    "get_obs",
+    "is_slimcap",
+    "set_obs",
+    "stage_percentiles",
+    "use_obs",
+]

@@ -1,0 +1,310 @@
+"""``.slimcap`` — a pcap-style capture of SLIM wire traffic.
+
+A capture is the debugging artifact every perf investigation starts
+from: the exact framed protocol messages that crossed the fabric, with
+simulated timestamps, stored compactly enough that long sessions stay
+cheap.  The format is length-prefixed binary::
+
+    file   := magic records*
+    magic  := "SLIMCAP" version(1 byte, = 1)
+    record := kind(1) time(f64 BE) length(u32 BE) payload[length]
+
+Record kinds:
+
+* ``ENDPOINT`` — interns an endpoint address: ``id(u16) utf8-name``.
+  Frames then refer to endpoints by id, so addresses cost 2 bytes.
+* ``FRAME`` — one datagram that crossed a tapped link:
+  ``src(u16) dst(u16)`` + the datagram bytes (fragment header + SLIM
+  message slice, exactly what :meth:`Datagram.to_bytes` produces).
+* ``DROP`` / ``LOSS`` — same payload as ``FRAME``, for datagrams that a
+  queue tail-dropped or the wire corrupted at a tapped link.
+* ``TRACE`` — a completed causal trace as JSON
+  (:meth:`MessageTrace.to_dict`), embedded so one file carries both the
+  wire view and the latency decomposition.
+
+The recorder taps :class:`~repro.netsim.link.Link` objects (set
+``link.capture``); :meth:`SlimcapWriter.tap_channel` wires both
+directions of a :class:`~repro.transport.channel.DisplayChannel`.  When
+an :class:`~repro.obs.context.ObsContext` carries a writer, the network
+taps every endpoint *uplink* — each frame is captured exactly once, at
+injection, like tcpdump at the sender.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core import commands as cmd
+from repro.core.wire import Datagram, WireCodec
+from repro.errors import WireFormatError
+
+__all__ = [
+    "SlimcapWriter",
+    "SlimcapReader",
+    "CaptureRecord",
+    "CapturedMessage",
+    "is_slimcap",
+    "MAGIC",
+]
+
+MAGIC = b"SLIMCAP\x01"
+
+_RECORD_HEADER = struct.Struct(">Bd I".replace(" ", ""))
+_ENDPOINT_ID = struct.Struct(">H")
+_FRAME_HEADER = struct.Struct(">HH")
+
+KIND_ENDPOINT = 0x01
+KIND_FRAME = 0x02
+KIND_DROP = 0x03
+KIND_LOSS = 0x04
+KIND_TRACE = 0x05
+
+_KIND_NAMES = {
+    KIND_ENDPOINT: "endpoint",
+    KIND_FRAME: "frame",
+    KIND_DROP: "drop",
+    KIND_LOSS: "loss",
+    KIND_TRACE: "trace",
+}
+
+
+def is_slimcap(path: Union[str, Path]) -> bool:
+    """Does ``path`` start with the ``.slimcap`` magic?"""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+class SlimcapWriter:
+    """Streams capture records to disk as the simulation runs.
+
+    Args:
+        path: Output file; created/truncated on construction.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[BinaryIO] = self.path.open("wb")
+        self._handle.write(MAGIC)
+        self._endpoints: Dict[str, int] = {}
+        self.frames_written = 0
+        self.traces_written = 0
+
+    # -- recording ---------------------------------------------------------
+    def frame(
+        self,
+        now: float,
+        src: str,
+        dst: str,
+        datagram: Datagram,
+        kind: int = KIND_FRAME,
+    ) -> None:
+        """Record one datagram crossing a tapped link."""
+        payload = (
+            _FRAME_HEADER.pack(self._intern(src, now), self._intern(dst, now))
+            + datagram.to_bytes()
+        )
+        self._write(kind, now, payload)
+        self.frames_written += 1
+
+    def trace(self, record: Dict[str, object], now: float = 0.0) -> None:
+        """Embed one completed causal trace (JSON payload)."""
+        self._write(
+            KIND_TRACE, now, json.dumps(record, separators=(",", ":")).encode()
+        )
+        self.traces_written += 1
+
+    # -- tapping -----------------------------------------------------------
+    def tap_channel(self, channel) -> None:
+        """Capture both directions of a :class:`DisplayChannel`."""
+        network = channel.network
+        for address in (
+            channel.server_channel.address,
+            channel.console_channel.address,
+        ):
+            network.uplink(address).capture = self
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SlimcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+    def _intern(self, address: str, now: float) -> int:
+        endpoint_id = self._endpoints.get(address)
+        if endpoint_id is None:
+            endpoint_id = len(self._endpoints)
+            self._endpoints[address] = endpoint_id
+            self._write(
+                KIND_ENDPOINT,
+                now,
+                _ENDPOINT_ID.pack(endpoint_id) + address.encode("utf-8"),
+            )
+        return endpoint_id
+
+    def _write(self, kind: int, now: float, payload: bytes) -> None:
+        if self._handle is None:
+            raise WireFormatError(f"capture {self.path} is closed")
+        self._handle.write(_RECORD_HEADER.pack(kind, now, len(payload)))
+        self._handle.write(payload)
+
+
+class CaptureRecord:
+    """One decoded ``.slimcap`` record."""
+
+    __slots__ = ("kind", "time", "src", "dst", "datagram", "trace")
+
+    def __init__(self, kind, time, src=None, dst=None, datagram=None, trace=None):
+        self.kind = kind
+        self.time = time
+        self.src = src
+        self.dst = dst
+        self.datagram = datagram
+        self.trace = trace
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"0x{self.kind:02x}")
+
+
+class CapturedMessage:
+    """One SLIM message reassembled from a capture's frames."""
+
+    __slots__ = (
+        "time", "first_time", "src", "dst", "seq", "command",
+        "wire_bytes", "ndatagrams",
+    )
+
+    def __init__(
+        self, time, first_time, src, dst, seq, command, wire_bytes, ndatagrams
+    ):
+        self.time = time  # when the last fragment crossed the tap
+        self.first_time = first_time
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.command = command
+        self.wire_bytes = wire_bytes
+        self.ndatagrams = ndatagrams
+
+    @property
+    def opcode(self) -> str:
+        if isinstance(self.command, cmd.DisplayCommand):
+            return self.command.opcode.name
+        return type(self.command).__name__
+
+
+class SlimcapReader:
+    """Parses a ``.slimcap`` file back into records and messages."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def records(self) -> Iterator[CaptureRecord]:
+        """Yield every record, endpoint names resolved."""
+        endpoints: Dict[int, str] = {}
+        with self.path.open("rb") as handle:
+            if handle.read(len(MAGIC)) != MAGIC:
+                raise WireFormatError(f"{self.path} is not a .slimcap file")
+            while True:
+                header = handle.read(_RECORD_HEADER.size)
+                if not header:
+                    return
+                if len(header) < _RECORD_HEADER.size:
+                    raise WireFormatError(f"truncated record in {self.path}")
+                kind, when, length = _RECORD_HEADER.unpack(header)
+                payload = handle.read(length)
+                if len(payload) < length:
+                    raise WireFormatError(f"truncated payload in {self.path}")
+                if kind == KIND_ENDPOINT:
+                    (endpoint_id,) = _ENDPOINT_ID.unpack_from(payload, 0)
+                    endpoints[endpoint_id] = payload[
+                        _ENDPOINT_ID.size:
+                    ].decode("utf-8")
+                    continue
+                if kind == KIND_TRACE:
+                    yield CaptureRecord(
+                        kind, when, trace=json.loads(payload.decode("utf-8"))
+                    )
+                    continue
+                src_id, dst_id = _FRAME_HEADER.unpack_from(payload, 0)
+                yield CaptureRecord(
+                    kind,
+                    when,
+                    src=endpoints.get(src_id, f"#{src_id}"),
+                    dst=endpoints.get(dst_id, f"#{dst_id}"),
+                    datagram=Datagram.from_bytes(
+                        payload[_FRAME_HEADER.size:]
+                    ),
+                )
+
+    def frames(self) -> Iterator[CaptureRecord]:
+        """Only the datagrams that actually crossed a tapped wire."""
+        return (r for r in self.records() if r.kind == KIND_FRAME)
+
+    def traces(self) -> List[Dict[str, object]]:
+        """The embedded causal-trace records, in file order."""
+        return [r.trace for r in self.records() if r.kind == KIND_TRACE]
+
+    def messages(self) -> Iterator[CapturedMessage]:
+        """Reassemble frames into complete SLIM messages, per direction.
+
+        Messages whose fragments are incomplete in the capture (e.g. a
+        partially lost tail) are silently omitted — the frame-level view
+        still shows their datagrams.  A capture may span several
+        simulations that reuse the same addresses (the experiment runner
+        records every session into one file): a fragment that contradicts
+        a stale partial simply restarts that seq's reassembly.
+        """
+        codecs: Dict[Tuple[str, str], WireCodec] = {}
+        pending: Dict[Tuple[str, str, int], Tuple[float, int, int]] = {}
+        for record in self.frames():
+            flow = (record.src, record.dst)
+            codec = codecs.get(flow)
+            if codec is None:
+                codec = codecs[flow] = WireCodec()
+            datagram = record.datagram
+            key = (record.src, record.dst, datagram.seq)
+            first, nbytes, count = pending.get(key, (record.time, 0, 0))
+            pending[key] = (
+                first, nbytes + datagram.wire_nbytes, count + 1
+            )
+            try:
+                result = codec.accept(datagram)
+            except WireFormatError:
+                # A stale partial from an earlier session on this flow:
+                # discard it and restart this seq from the new fragment.
+                codec.drop_partial(datagram.seq)
+                pending[key] = (record.time, datagram.wire_nbytes, 1)
+                try:
+                    result = codec.accept(datagram)
+                except WireFormatError:
+                    codec.drop_partial(datagram.seq)
+                    pending.pop(key, None)
+                    continue
+            if result is None:
+                continue
+            command, seq = result
+            first, nbytes, count = pending.pop(key)
+            yield CapturedMessage(
+                time=record.time,
+                first_time=first,
+                src=record.src,
+                dst=record.dst,
+                seq=seq,
+                command=command,
+                wire_bytes=nbytes,
+                ndatagrams=count,
+            )

@@ -1,0 +1,483 @@
+"""Causal update tracing: per-stage sim-time breakdowns for every update.
+
+The telemetry layer (PR 1) aggregates — it can say "decode p99 is 4 ms"
+but not *which stage* made one keystroke take 80 ms end to end.  This
+module answers that question the way the X-Files methodology does: a
+``trace_id`` is assigned where an update is born — at
+:meth:`SlimDriver.update` or at input-event injection — and propagated
+through the encoder, :class:`ServerChannel` fragmentation, the netsim
+packets (as :attr:`Packet.trace_id`), :class:`ConsoleChannel`
+reassembly, and the console decode/paint loop.  Each hop records a
+sim-timestamp, and when the message finishes the collector partitions
+the interval ``[update start, paint]`` into consecutive stages:
+
+    encode | queueing | serialization | switch | decode | paint
+
+The stages telescope — each boundary timestamp is used exactly once as
+an end and once as a start — so their sum equals the observed
+end-to-end latency *by construction*, which is what
+``tests/test_obs_trace.py`` asserts on a lossy fabric.
+
+Loss recovery is first-class: a message superseded by a re-encode
+(NACK answered, or covered by a full refresh) carries a link to the
+recovery messages sent in its place, and the owning update's breakdown
+then reports the NACK round-trip as an explicit ``resend_wait`` stage.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core import commands as cmd
+from repro.core.wire import message_wire_nbytes
+from repro.telemetry.metrics import P2Quantile
+
+__all__ = [
+    "MessageTrace",
+    "UpdateTrace",
+    "TraceCollector",
+    "stage_percentiles",
+    "chrome_trace_events",
+    "STAGES",
+]
+
+#: The critical-path stages, in pipeline order.  ``paint`` is the
+#: instantaneous framebuffer application at decode completion (the
+#: console cost model folds painting into decode service time), kept as
+#: a stage so the schema survives a future split.
+STAGES: Tuple[str, ...] = (
+    "encode",
+    "queueing",
+    "serialization",
+    "switch",
+    "decode",
+    "paint",
+)
+
+#: Message-key type: (source address, destination address, wire seq).
+#: Sequence spaces are per-codec, so the address pair disambiguates
+#: flows and directions in multi-console simulations.
+MessageKey = Tuple[str, str, int]
+
+
+@dataclass
+class MessageTrace:
+    """One SLIM message's journey through the stack.
+
+    Timestamps are simulated seconds.  ``stages`` is filled when the
+    trace closes (at paint for display commands, at reassembly for
+    everything else) and partitions ``[update_start, closed_at]``.
+    """
+
+    trace_id: int
+    key: MessageKey
+    opcode: str
+    seq: int
+    update_id: Optional[int]
+    update_start: float
+    sent_at: float
+    wire_bytes: int
+    payload_bytes: int
+    recovery: bool = False
+    recovery_of: Optional[int] = None
+    reassembled_at: Optional[float] = None
+    decode_start_at: Optional[float] = None
+    painted_at: Optional[float] = None
+    superseded_at: Optional[float] = None
+    dropped: bool = False
+    completed: bool = False
+    stages: Dict[str, float] = field(default_factory=dict)
+    #: Per-packet link events: packet_id -> [(event, link, time), ...].
+    packet_events: Dict[int, List[Tuple[str, str, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def superseded(self) -> bool:
+        """Was this message replaced by a fresh re-encode (loss path)?"""
+        return self.superseded_at is not None
+
+    @property
+    def end_to_end(self) -> float:
+        """Update start to close (0.0 while the trace is still open)."""
+        closed = self.painted_at if self.painted_at is not None else (
+            self.reassembled_at if self.completed else None
+        )
+        return 0.0 if closed is None else closed - self.update_start
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (packet events elided — they are raw
+        material for ``stages``, not part of the analysis surface)."""
+        return {
+            "trace_id": self.trace_id,
+            "src": self.key[0],
+            "dst": self.key[1],
+            "seq": self.seq,
+            "opcode": self.opcode,
+            "update_id": self.update_id,
+            "update_start": self.update_start,
+            "sent_at": self.sent_at,
+            "wire_bytes": self.wire_bytes,
+            "payload_bytes": self.payload_bytes,
+            "recovery": self.recovery,
+            "recovery_of": self.recovery_of,
+            "reassembled_at": self.reassembled_at,
+            "decode_start_at": self.decode_start_at,
+            "painted_at": self.painted_at,
+            "superseded_at": self.superseded_at,
+            "completed": self.completed,
+            "end_to_end": self.end_to_end,
+            "stages": dict(self.stages),
+        }
+
+    # -- internals ---------------------------------------------------------
+    def _critical_packet_events(self) -> List[Tuple[str, str, float]]:
+        """Events of the packet whose delivery completed reassembly.
+
+        Fragments travel FIFO over the same path, so the last-delivered
+        packet is the critical one.
+        """
+        best: List[Tuple[str, str, float]] = []
+        best_time = float("-inf")
+        for events in self.packet_events.values():
+            delivered = [t for kind, _, t in events if kind == "deliver"]
+            if delivered and delivered[-1] > best_time:
+                best_time = delivered[-1]
+                best = events
+        return best
+
+    def _close(self) -> None:
+        """Compute the telescoping stage partition and mark completed."""
+        encode = self.sent_at - self.update_start
+        queue_wait = 0.0
+        serialization = 0.0
+        switch = 0.0
+        events = self._critical_packet_events()
+        if events:
+            enqueue_at: Optional[float] = None
+            tx_start_at: Optional[float] = None
+            last_delivered = self.sent_at
+            for kind, _link, when in events:
+                if kind == "enqueue":
+                    enqueue_at = when
+                elif kind == "tx_start" and enqueue_at is not None:
+                    queue_wait += when - enqueue_at
+                    tx_start_at = when
+                elif kind == "tx_end" and tx_start_at is not None:
+                    serialization += when - tx_start_at
+                elif kind == "deliver":
+                    last_delivered = when
+            # Everything on the wire that is neither waiting in a queue
+            # nor serializing: switch forwarding + propagation.
+            switch = (
+                (last_delivered - self.sent_at) - queue_wait - serialization
+            )
+        console_wait = 0.0
+        decode = 0.0
+        if self.decode_start_at is not None and self.reassembled_at is not None:
+            console_wait = self.decode_start_at - self.reassembled_at
+        if self.painted_at is not None and self.decode_start_at is not None:
+            decode = self.painted_at - self.decode_start_at
+        self.stages = {
+            "encode": encode,
+            "queueing": queue_wait + console_wait,
+            "serialization": serialization,
+            "switch": switch,
+            "decode": decode,
+            "paint": 0.0,
+        }
+        self.completed = True
+        # Packet events were raw material for the stages; free them.
+        self.packet_events = {}
+
+
+@dataclass
+class UpdateTrace:
+    """One :meth:`SlimDriver.update` call and every message it caused.
+
+    ``traces`` holds the update's original display messages plus any
+    recovery re-encodes that superseded lost ones (linked through
+    ``recovery_of``).
+    """
+
+    update_id: int
+    started_at: float
+    traces: List[MessageTrace] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """Every original message painted or superseded by a painted
+        re-encode; at least one paint observed."""
+        painted = [t for t in self.traces if t.painted_at is not None]
+        if not painted:
+            return False
+        return all(
+            t.painted_at is not None or t.superseded
+            for t in self.traces
+        )
+
+    @property
+    def end_to_end(self) -> float:
+        """Update start to the last paint it caused, seconds."""
+        painted = [
+            t.painted_at for t in self.traces if t.painted_at is not None
+        ]
+        return max(painted) - self.started_at if painted else 0.0
+
+    def breakdown(self) -> Optional[Dict[str, float]]:
+        """Critical-path stage breakdown whose values sum to
+        :attr:`end_to_end` exactly.
+
+        The critical message is the last one to paint.  When that is a
+        recovery re-encode, the time from update start until the
+        re-encode was sent (loss detection + NACK round trip) appears
+        as an explicit ``resend_wait`` stage.
+        """
+        painted = [
+            t for t in self.traces
+            if t.painted_at is not None and t.completed
+        ]
+        if not painted:
+            return None
+        critical = max(painted, key=lambda t: t.painted_at)
+        stages = dict(critical.stages)
+        stages["resend_wait"] = (
+            (critical.sent_at - self.started_at) - stages["encode"]
+        )
+        return stages
+
+
+class TraceCollector:
+    """Receives trace events from every layer and reconstructs causality.
+
+    The simulation is single-threaded and every hook fires synchronously
+    inside the event that caused it, so a "current update" slot and
+    plain dicts are race-free by construction.  Hook cost when a layer
+    has no collector is a single ``is None`` check.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._update_ids = itertools.count(1)
+        self.messages: List[MessageTrace] = []
+        self.updates: List[UpdateTrace] = []
+        self._open: Dict[MessageKey, MessageTrace] = {}
+        self._by_id: Dict[int, MessageTrace] = {}
+        self._awaiting_decode: Dict[int, MessageTrace] = {}
+        self._updates_by_id: Dict[int, UpdateTrace] = {}
+        #: (src, dst, seq) of originals -> owning update, for attributing
+        #: recovery re-encodes to the update whose message they replace.
+        self._update_by_message: Dict[MessageKey, UpdateTrace] = {}
+        self._current_update: Optional[UpdateTrace] = None
+
+    # -- driver hooks ------------------------------------------------------
+    def begin_update(self, now: float) -> int:
+        """A display update is starting; subsequent sends attach to it."""
+        update = UpdateTrace(update_id=next(self._update_ids), started_at=now)
+        self.updates.append(update)
+        self._updates_by_id[update.update_id] = update
+        self._current_update = update
+        return update.update_id
+
+    def end_update(self) -> None:
+        self._current_update = None
+
+    # -- channel hooks -----------------------------------------------------
+    def message_sent(
+        self,
+        key: MessageKey,
+        command: cmd.Command,
+        now: float,
+        recovery: bool = False,
+        recovery_of: Optional[int] = None,
+    ) -> int:
+        """A message entered the wire; returns the trace id to stamp on
+        its packets."""
+        update = self._current_update
+        opcode = (
+            command.opcode.name
+            if isinstance(command, cmd.DisplayCommand)
+            else type(command).__name__
+        )
+        trace = MessageTrace(
+            trace_id=next(self._ids),
+            key=key,
+            opcode=opcode,
+            seq=key[2],
+            update_id=update.update_id if update is not None else None,
+            update_start=update.started_at if update is not None else now,
+            sent_at=now,
+            wire_bytes=message_wire_nbytes(command),
+            payload_bytes=command.payload_nbytes(),
+            recovery=recovery,
+            recovery_of=recovery_of,
+        )
+        self.messages.append(trace)
+        self._open[key] = trace
+        self._by_id[trace.trace_id] = trace
+        # Only display commands join an update's trace set: an update is
+        # "complete" when its pixels are on screen, and status messages
+        # (SYNC/RECOVERED) never paint.
+        if isinstance(command, cmd.DisplayCommand):
+            if update is not None:
+                update.traces.append(trace)
+                self._update_by_message[key] = update
+            elif recovery_of is not None:
+                # A recovery re-encode: attribute it to the update whose
+                # lost message it supersedes (recovery chains included —
+                # the superseded key maps to the same update).
+                owner = self._update_by_message.get(
+                    (key[0], key[1], recovery_of)
+                )
+                if owner is not None:
+                    owner.traces.append(trace)
+                    self._update_by_message[key] = owner
+        return trace.trace_id
+
+    def message_superseded(self, key: MessageKey, now: float) -> None:
+        """The server answered a NACK for ``key``: its pixels now travel
+        under fresh sequence numbers (or were never pixels)."""
+        trace = self._open.pop(key, None)
+        if trace is not None:
+            trace.superseded_at = now
+
+    def reassembled(self, key: MessageKey, command: cmd.Command, now: float) -> None:
+        """A message completed reassembly at its receiving endpoint."""
+        trace = self._open.pop(key, None)
+        if trace is None:
+            return
+        trace.reassembled_at = now
+        if isinstance(command, cmd.DisplayCommand):
+            # Stays open until the console paints it.
+            self._awaiting_decode[id(command)] = trace
+        else:
+            trace._close()
+
+    # -- console hooks -----------------------------------------------------
+    def decode_start(self, command: cmd.Command, now: float) -> None:
+        trace = self._awaiting_decode.get(id(command))
+        if trace is not None:
+            trace.decode_start_at = now
+
+    def painted(self, command: cmd.Command, now: float) -> None:
+        trace = self._awaiting_decode.pop(id(command), None)
+        if trace is not None:
+            trace.painted_at = now
+            trace._close()
+
+    def command_dropped(self, command: cmd.Command, now: float) -> None:
+        """The console queue overflowed; the trace never completes."""
+        trace = self._awaiting_decode.pop(id(command), None)
+        if trace is not None:
+            trace.dropped = True
+
+    # -- link taps ---------------------------------------------------------
+    def packet_event(self, trace_id, packet_id, kind, link, now) -> None:
+        trace = self._by_id.get(trace_id)
+        if trace is not None and not trace.completed:
+            trace.packet_events.setdefault(packet_id, []).append(
+                (kind, link, now)
+            )
+
+    # -- results -----------------------------------------------------------
+    def completed_messages(self) -> List[MessageTrace]:
+        return [t for t in self.messages if t.completed]
+
+    def completed_updates(self) -> List[UpdateTrace]:
+        return [u for u in self.updates if u.completed]
+
+
+def stage_percentiles(
+    traces: Iterable[object],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-command-type, per-stage latency statistics.
+
+    Accepts :class:`MessageTrace` objects or the dicts produced by
+    :meth:`MessageTrace.to_dict` (what a ``.slimcap`` file stores).
+    Returns ``{opcode: {stage: {count, mean, p50, p90, p99}}}`` over the
+    completed traces, with an ``end_to_end`` pseudo-stage per opcode.
+    """
+    sums: Dict[Tuple[str, str], float] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    estimators: Dict[Tuple[str, str], Dict[float, P2Quantile]] = {}
+    for trace in traces:
+        record = trace.to_dict() if isinstance(trace, MessageTrace) else trace
+        if not record.get("completed"):
+            continue
+        samples = dict(record["stages"])
+        samples["end_to_end"] = float(record["end_to_end"])
+        opcode = str(record["opcode"])
+        for stage, value in samples.items():
+            bucket = (opcode, stage)
+            sums[bucket] = sums.get(bucket, 0.0) + value
+            counts[bucket] = counts.get(bucket, 0) + 1
+            quantiles = estimators.setdefault(
+                bucket, {q: P2Quantile(q) for q in (0.5, 0.9, 0.99)}
+            )
+            for est in quantiles.values():
+                est.observe(value)
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for (opcode, stage), count in counts.items():
+        table.setdefault(opcode, {})[stage] = {
+            "count": count,
+            "mean": sums[(opcode, stage)] / count,
+            "p50": estimators[(opcode, stage)][0.5].value(),
+            "p90": estimators[(opcode, stage)][0.9].value(),
+            "p99": estimators[(opcode, stage)][0.99].value(),
+        }
+    return table
+
+
+def chrome_trace_events(traces: Iterable[object]) -> Dict[str, object]:
+    """Render traces as Chrome ``trace_event`` JSON (about:tracing).
+
+    Accepts :class:`MessageTrace` objects or the dicts produced by
+    :meth:`MessageTrace.to_dict` (what a ``.slimcap`` file stores).
+    Each message becomes one timeline lane (``tid`` = trace id) of
+    consecutive complete ("X") events, one per non-empty stage, in
+    simulated microseconds.
+    """
+    events: List[Dict[str, object]] = []
+    for trace in traces:
+        record = trace.to_dict() if isinstance(trace, MessageTrace) else trace
+        if not record.get("completed"):
+            continue
+        cursor = float(record["update_start"])
+        tid = int(record["trace_id"])
+        for stage in STAGES:
+            duration = float(record["stages"].get(stage, 0.0))
+            if duration <= 0.0 and stage != "decode":
+                cursor += duration
+                continue
+            events.append(
+                {
+                    "name": stage,
+                    "cat": record["opcode"],
+                    "ph": "X",
+                    "ts": cursor * 1e6,
+                    "dur": duration * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {
+                        "seq": record["seq"],
+                        "opcode": record["opcode"],
+                        "recovery": record["recovery"],
+                        "update_id": record["update_id"],
+                    },
+                }
+            )
+            cursor += duration
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "name": f"{record['opcode']} seq={record['seq']}"
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,70 @@
+"""The process-global observability context.
+
+Mirrors the telemetry registry pattern (:mod:`repro.telemetry.metrics`)
+with one important difference: the default is ``None``, not a null
+object.  Observability is *per-event* work — every packet generates
+trace events, every frame is written to disk — so the disabled path must
+be a single ``is None`` check with no attribute chain and no shared
+no-op objects.  Components resolve the context once, at construction::
+
+    obs = obs if obs is not None else get_obs()
+    self._trace = obs.tracer if obs is not None else None
+
+and their hot paths guard with ``if self._trace is not None``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.capture import SlimcapWriter
+    from repro.obs.causal import TraceCollector
+
+__all__ = ["ObsContext", "get_obs", "set_obs", "use_obs"]
+
+
+@dataclass
+class ObsContext:
+    """What the observability layer is collecting for the current run.
+
+    Attributes:
+        tracer: Causal update tracer; ``None`` disables trace events.
+        capture: Wire-capture writer; ``None`` disables frame capture.
+    """
+
+    tracer: Optional["TraceCollector"] = None
+    capture: Optional["SlimcapWriter"] = None
+
+
+_current: Optional[ObsContext] = None
+
+
+def get_obs() -> Optional[ObsContext]:
+    """The installed observability context, or None (the default)."""
+    return _current
+
+
+def set_obs(context: Optional[ObsContext]) -> Optional[ObsContext]:
+    """Install a context (or None to disable); returns the previous one."""
+    global _current
+    previous = _current
+    _current = context
+    return previous
+
+
+@contextmanager
+def use_obs(context: ObsContext):
+    """Temporarily install an observability context.
+
+    Components built inside the block pick the context up by default;
+    components built outside keep whatever they resolved at
+    construction.
+    """
+    previous = set_obs(context)
+    try:
+        yield context
+    finally:
+        set_obs(previous)

@@ -26,6 +26,7 @@ from repro.analysis.traces import UpdateRecord
 from repro.console.microops import MicroOpModel
 from repro.framebuffer.framebuffer import FrameBuffer
 from repro.framebuffer.painter import Painter, PaintOp
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.telemetry.trace import Tracer
 from repro.xproto.baseline import RawPixelDriver, XDriver
@@ -64,6 +65,10 @@ class SlimDriver:
             a network in the examples; None for pure trace collection).
         registry: Telemetry sink; defaults to the process-global
             registry (a no-op unless telemetry is enabled).
+        obs: Observability context; defaults to the process-global one
+            (usually ``None``).  When it carries a causal tracer, every
+            :meth:`update` opens an update trace so the commands it
+            sends are grouped under one ``update_id``.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class SlimDriver:
         track_baselines: bool = True,
         send: Optional[Callable[[cmd.DisplayCommand], None]] = None,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.encoder = encoder or SlimEncoder(
             materialize=framebuffer is not None, registry=registry
@@ -85,6 +91,8 @@ class SlimDriver:
         self.raw_driver = RawPixelDriver() if track_baselines else None
         self.stats = DriverStats()
         self.records: List[UpdateRecord] = []
+        obs = obs if obs is not None else get_obs()
+        self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
         # Wall-clock spans: where does the *reproduction's* time go.
         self._tracer = Tracer(registry=self._metrics)
@@ -115,6 +123,19 @@ class SlimDriver:
         Accounting-only drivers (no framebuffer) have nothing to paint,
         so ``paint`` is a no-op for them.
         """
+        if self._trace is not None:
+            # Causal tracing: group everything this update sends (its
+            # commands are encoded and pushed synchronously below).
+            self._trace.begin_update(time)
+            try:
+                return self._timed_update(time, ops, paint)
+            finally:
+                self._trace.end_update()
+        return self._timed_update(time, ops, paint)
+
+    def _timed_update(
+        self, time: float, ops: List[PaintOp], paint: bool
+    ) -> UpdateRecord:
         if self._metrics.enabled:
             with self._tracer.span("server.driver.update"):
                 return self._update(time, ops, paint)

@@ -119,11 +119,20 @@ class Tracer:
             span.wall_end = _time.perf_counter()
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
-        else:  # out-of-order close: drop it from wherever it sits
-            try:
-                self._stack.remove(span)
-            except ValueError:
-                pass
+        elif span in self._stack:
+            # Unwind: children above this span were abandoned (an
+            # exception escaped before their __exit__ ran, or a span was
+            # entered manually and never exited).  Closing an outer span
+            # implicitly closes everything opened inside it, so pop the
+            # leaked children too — leaving them would corrupt `current`
+            # and mis-parent every later span.
+            while self._stack:
+                leaked = self._stack.pop()
+                if leaked is span:
+                    break
+                if leaked.end is None:
+                    leaked.end = span.end
+        # else: already closed (double __exit__); nothing to do.
         registry = self.registry
         if registry.enabled:
             registry.histogram(f"span.{span.name}.seconds", **span.labels).observe(

@@ -1,8 +1,11 @@
 """Command-line utilities built on the library.
 
-* ``python -m repro.tools.replay`` — replay a saved protocol trace over a
-  simulated link at any bandwidth and report the added-delay profile
-  (the Figure 6 methodology as a tool).
+* ``python -m repro.tools.replay`` — replay a saved protocol trace (or a
+  ``.slimcap`` wire capture) over a simulated link at any bandwidth and
+  report the added-delay profile (the Figure 6 methodology as a tool).
 * ``python -m repro.tools.capacity`` — size a server for a workgroup mix
   (the Figure 9/12 machinery as a planner).
+* ``python -m repro.tools.slimcap`` — protocol analyzer for ``.slimcap``
+  wire captures: per-command statistics, stage-latency percentiles,
+  NACK/retransmission timelines, Chrome ``trace_event`` export.
 """

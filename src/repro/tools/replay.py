@@ -1,11 +1,17 @@
 """Replay saved protocol traces over a simulated link.
 
 The paper's scalability methodology (Section 5.4) as a reusable tool:
-record a session once (``repro.analysis.traces.save_traces``), then ask
-"what would this feel like over X?" for any bandwidth::
+record a session once (``repro.analysis.traces.save_traces`` or a
+``.slimcap`` wire capture), then ask "what would this feel like over X?"
+for any bandwidth::
 
     python -m repro.tools.replay traces.jsonl --bandwidth 2Mbps
-    python -m repro.tools.replay traces.jsonl --bandwidth 384Kbps --json
+    python -m repro.tools.replay run.slimcap --bandwidth 384Kbps --json
+
+Both input formats are detected automatically: JSON-lines session traces
+(:func:`repro.analysis.traces.save_traces`) and ``.slimcap`` captures
+(the experiment runner's ``--capture``), whose server->console display
+messages are lifted into per-update records.
 
 Bandwidth accepts ``56Kbps`` / ``1.5Mbps`` / plain bits-per-second.
 """
@@ -20,10 +26,12 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.analysis.cdf import Cdf
-from repro.analysis.traces import load_traces
+from repro.analysis.traces import SessionTrace, UpdateRecord, load_traces
+from repro.core import commands as cmd
 from repro.errors import ReproError
 from repro.experiments.fig6 import trace_packet_windows, windowed_added_delays
 from repro.experiments.scalability import classify
+from repro.obs.capture import SlimcapReader, is_slimcap
 from repro.units import MBPS
 
 
@@ -43,9 +51,54 @@ def parse_bandwidth(text: str) -> float:
     return result
 
 
+def session_from_capture(path: Path) -> SessionTrace:
+    """Lift a ``.slimcap`` capture into a replayable session trace.
+
+    Each server->console display message becomes one
+    :class:`UpdateRecord` timestamped at its first fragment's capture
+    time; status and input traffic is ignored (the replay models
+    display-channel congestion only).
+    """
+    reader = SlimcapReader(path)
+    updates: List[UpdateRecord] = []
+    end = 0.0
+    for message in reader.messages():
+        end = max(end, message.time)
+        if not isinstance(message.command, cmd.DisplayCommand):
+            continue
+        opcode = message.opcode
+        updates.append(
+            UpdateRecord(
+                time=message.first_time,
+                pixels=message.command.pixels,
+                wire_bytes=message.wire_bytes,
+                payload_bytes_by_opcode={
+                    opcode: message.command.payload_nbytes()
+                },
+                pixels_by_opcode={opcode: message.command.pixels},
+                commands_by_opcode={opcode: 1},
+            )
+        )
+    if not updates:
+        raise ReproError(f"no display messages in capture {path}")
+    return SessionTrace(
+        application="capture",
+        user=Path(path).stem,
+        duration=max(end, updates[-1].time) or 1.0,
+        updates=updates,
+    )
+
+
 def replay(path: Path, rate_bps: float) -> Dict[str, object]:
-    """Replay every trace in a file; returns the summary dict."""
-    traces = load_traces(path)
+    """Replay every trace in a file; returns the summary dict.
+
+    Accepts JSON-lines session traces or a ``.slimcap`` wire capture
+    (detected by magic).
+    """
+    if is_slimcap(path):
+        traces = [session_from_capture(path)]
+    else:
+        traces = load_traces(path)
     if not traces:
         raise ReproError(f"no traces in {path}")
     delays: List[float] = []
@@ -72,7 +125,10 @@ def main(argv=None) -> int:
         prog="python -m repro.tools.replay",
         description="Replay saved SLIM traces over a simulated link.",
     )
-    parser.add_argument("traces", type=Path, help="JSON-lines trace file")
+    parser.add_argument(
+        "traces", type=Path,
+        help="JSON-lines trace file or .slimcap capture",
+    )
     parser.add_argument(
         "--bandwidth", required=True, help="e.g. 56Kbps, 1.5Mbps, 1e7"
     )

@@ -27,6 +27,7 @@ from repro.console.console import Console
 from repro.framebuffer.framebuffer import FrameBuffer
 from repro.netsim.engine import Simulator
 from repro.netsim.transport import Network
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry
 from repro.transport.console import ConsoleChannel
 from repro.transport.server import DEFAULT_STATUS_INTERVAL, ServerChannel
@@ -54,6 +55,8 @@ class DisplayChannel:
         damage_capacity: Server damage-map entries before eviction.
         queue_limit_bytes: Console downlink buffer size (tail drops).
         registry: Telemetry sink threaded through every layer.
+        obs: Observability context threaded through every layer
+            (tracer + wire capture); defaults to the process-global one.
     """
 
     def __init__(
@@ -74,10 +77,13 @@ class DisplayChannel:
         damage_capacity: int = 1024,
         queue_limit_bytes: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
+        obs = obs if obs is not None else get_obs()
+        self.obs = obs
         self.sim = sim if sim is not None else Simulator()
         self.network = network if network is not None else Network(
-            self.sim, default_rate_bps=rate_bps, registry=registry
+            self.sim, default_rate_bps=rate_bps, registry=registry, obs=obs
         )
         self.framebuffer = framebuffer
         self.console = console if console is not None else Console(
@@ -86,6 +92,7 @@ class DisplayChannel:
             sim=self.sim,
             address=console_address,
             registry=registry,
+            obs=obs,
         )
         if nack_timeout is None:
             nack_timeout = 2 * status_interval
@@ -96,6 +103,7 @@ class DisplayChannel:
             nack_delay=nack_delay,
             nack_timeout=nack_timeout,
             registry=registry,
+            obs=obs,
         )
         self.server_channel = ServerChannel(
             framebuffer,
@@ -107,6 +115,7 @@ class DisplayChannel:
             damage_capacity=damage_capacity,
             status_interval=status_interval,
             registry=registry,
+            obs=obs,
         )
         self.console_channel.attach(queue_limit_bytes=queue_limit_bytes)
         rng = np.random.default_rng(seed) if loss_rate > 0 else None
@@ -125,6 +134,7 @@ class DisplayChannel:
             encoder=encoder or SlimEncoder(materialize=True),
             framebuffer=self.framebuffer,
             send=self.send_command,
+            obs=self.obs,
             **kwargs,
         )
 

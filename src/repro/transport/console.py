@@ -32,6 +32,7 @@ from repro.core.wire import Datagram, WireCodec
 from repro.console.console import Console
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint, Network
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 #: Console -> server control traffic flow label.
@@ -116,6 +117,9 @@ class ConsoleChannel:
         nack_timeout: Seconds after which an unanswered NACK is resent
             (checked when a server SYNC arrives).
         registry: Telemetry sink; defaults to the process-global one.
+        obs: Observability context; defaults to the process-global one
+            (usually ``None``).  Supplies the causal tracer that stamps
+            reassembly times and follows console->server traffic.
     """
 
     def __init__(
@@ -126,6 +130,7 @@ class ConsoleChannel:
         nack_delay: float = 0.002,
         nack_timeout: float = 0.1,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if console.sim is None:
             raise ProtocolError("ConsoleChannel requires a simulator-attached console")
@@ -143,6 +148,8 @@ class ConsoleChannel:
         self.endpoint: Optional[Endpoint] = None
         self._tracker = _SeqTracker()
         self._pending: Dict[int, PendingRecovery] = {}
+        obs = obs if obs is not None else get_obs()
+        self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
         if self._metrics.enabled:
             m = self._metrics
@@ -179,7 +186,12 @@ class ConsoleChannel:
                 # A fragment proves every lower seq was already sent.
                 self._scan_holes(payload.seq)
                 return
-            self._on_message(*result)
+            command, seq = result
+            if self._trace is not None:
+                self._trace.reassembled(
+                    (packet.src, packet.dst, seq), command, self.sim.now
+                )
+            self._on_message(command, seq)
         elif isinstance(payload, cmd.Command):
             # Pre-decoded fast path (large sims); no wire-level tracking.
             self.console.enqueue(payload)
@@ -269,6 +281,11 @@ class ConsoleChannel:
     def send_command(self, command: cmd.Command) -> int:
         """Send a command to the server; returns its wire bytes."""
         seq = self.tx.next_seq()
+        trace_id = None
+        if self._trace is not None:
+            trace_id = self._trace.message_sent(
+                (self.address, self.server_address, seq), command, self.sim.now
+            )
         nbytes = 0
         for datagram in self.tx.fragment(command, seq=seq):
             nbytes += datagram.wire_nbytes
@@ -279,6 +296,7 @@ class ConsoleChannel:
                     nbytes=datagram.wire_nbytes,
                     payload=datagram,
                     flow=CONTROL_FLOW,
+                    trace_id=trace_id,
                 )
             )
         return nbytes

@@ -33,6 +33,7 @@ from repro.framebuffer.framebuffer import FrameBuffer
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint, Network
+from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 from repro.transport.damage import DamageMap
 
@@ -85,6 +86,9 @@ class ServerChannel:
         status_interval: Status-exchange period, seconds.
         on_input: Callback for input events arriving from the console.
         registry: Telemetry sink; defaults to the process-global one.
+        obs: Observability context; defaults to the process-global one
+            (usually ``None``).  Supplies the causal tracer that follows
+            each display command from here to the console's paint.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class ServerChannel:
         status_interval: float = DEFAULT_STATUS_INTERVAL,
         on_input: Optional[Callable[[cmd.Command], None]] = None,
         registry: Optional[MetricsRegistry] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.framebuffer = framebuffer
         self.network = network
@@ -126,6 +131,8 @@ class ServerChannel:
         self._confirmed_frontier = 0
         self._timer_active = False
         self._refresh_covering_seq = -1
+        obs = obs if obs is not None else get_obs()
+        self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
         if self._metrics.enabled:
             m = self._metrics
@@ -159,12 +166,17 @@ class ServerChannel:
         """Sequence, record, fragment, and send one command."""
         return self._send(command)
 
-    def _send(self, command: cmd.Command, recovery: bool = False) -> int:
+    def _send(
+        self,
+        command: cmd.Command,
+        recovery: bool = False,
+        recovery_of: Optional[int] = None,
+    ) -> int:
         seq = self.codec.next_seq()
         rect = command.rect if isinstance(command, cmd.DisplayCommand) else None
         if isinstance(command, cmd.CopyCommand):
             self._copies.append((seq, command.src, command.rect))
-        return self._transmit(command, seq, rect, recovery)
+        return self._transmit(command, seq, rect, recovery, recovery_of)
 
     def _transmit(
         self,
@@ -172,9 +184,19 @@ class ServerChannel:
         seq: int,
         rect: Optional[object],
         recovery: bool,
+        recovery_of: Optional[int] = None,
     ) -> int:
         self.damage.record(seq, rect)
         self._last_seq = seq
+        trace_id = None
+        if self._trace is not None:
+            trace_id = self._trace.message_sent(
+                (self.address, self.console_address, seq),
+                command,
+                self.sim.now,
+                recovery=recovery,
+                recovery_of=recovery_of,
+            )
         nbytes = 0
         for datagram in self.codec.fragment(command, seq=seq):
             nbytes += datagram.wire_nbytes
@@ -185,6 +207,7 @@ class ServerChannel:
                     nbytes=datagram.wire_nbytes,
                     payload=datagram,
                     flow=DISPLAY_FLOW,
+                    trace_id=trace_id,
                 )
             )
         self.stats.messages_sent += 1
@@ -207,7 +230,11 @@ class ServerChannel:
         result = self.rx.accept(payload)
         if result is None:
             return
-        command, _seq = result
+        command, seq = result
+        if self._trace is not None:
+            self._trace.reassembled(
+                (packet.src, packet.dst, seq), command, self.sim.now
+            )
         if isinstance(command, cmd.StatusMessage):
             if command.kind == StatusKind.NACK:
                 self._recover(command.value)
@@ -225,6 +252,13 @@ class ServerChannel:
     def _recover(self, seq: int) -> None:
         """Answer one NACK: re-encode current pixels, never replay."""
         self.stats.nacks_received += 1
+        if self._trace is not None:
+            # Whatever the outcome below, the lost message's pixels now
+            # travel under fresh seqs (or were never pixels): close its
+            # trace as superseded rather than leaving it open forever.
+            self._trace.message_superseded(
+                (self.address, self.console_address, seq), self.sim.now
+            )
         known, rect = self.damage.lookup(seq)
         if known and rect is not None:
             outcome = "reencode"
@@ -232,20 +266,22 @@ class ServerChannel:
             for command in self.recovery_encoder.encode_damage(
                 self.framebuffer, self._damage_closure(seq, rect)
             ):
-                self._send(command, recovery=True)
+                self._send(command, recovery=True, recovery_of=seq)
         elif known:
             outcome = "ephemeral"  # a lost status; nothing to re-send
         elif seq <= self._refresh_covering_seq:
             outcome = "covered"  # an earlier refresh already repainted it
         else:
             outcome = "refresh"
-            self.refresh()
+            self.refresh(covering=seq)
         if self._metrics.enabled:
             self._m_recoveries[outcome].inc()
         # Confirm so the console stops asking: the damaged pixels now
         # travel under fresh sequence numbers (or were never pixels).
         self._send(
-            cmd.StatusMessage(kind=StatusKind.RECOVERED, value=seq), recovery=True
+            cmd.StatusMessage(kind=StatusKind.RECOVERED, value=seq),
+            recovery=True,
+            recovery_of=seq,
         )
 
     def _damage_closure(self, seq: int, rect: object) -> List[object]:
@@ -261,8 +297,14 @@ class ServerChannel:
                 rects.append(dst)
         return rects
 
-    def refresh(self) -> None:
-        """Full-screen re-encode: the stateless catch-all."""
+    def refresh(self, covering: Optional[int] = None) -> None:
+        """Full-screen re-encode: the stateless catch-all.
+
+        Args:
+            covering: Seq of the lost message this refresh answers, if
+                any, so the tracer can attribute the re-encode to the
+                update whose message was lost.
+        """
         self.stats.refreshes += 1
         self._refresh_covering_seq = self._last_seq
         if self._metrics.enabled:
@@ -270,7 +312,7 @@ class ServerChannel:
         for command in self.recovery_encoder.encode_damage(
             self.framebuffer, [self.framebuffer.bounds]
         ):
-            self._send(command, recovery=True)
+            self._send(command, recovery=True, recovery_of=covering)
 
     # -- status exchange ------------------------------------------------------
     def _ensure_timer(self) -> None:

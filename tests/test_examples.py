@@ -6,6 +6,7 @@ tracebacks.
 """
 
 import importlib.util
+import inspect
 import sys
 from pathlib import Path
 
@@ -14,19 +15,36 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name):
+def run_example(name, argv=()):
     spec = importlib.util.spec_from_file_location(
         f"example_{name}", EXAMPLES / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    module.main()
+    # CLI-style examples take argv; pass it explicitly so an in-process
+    # run never parses pytest's own sys.argv.
+    if inspect.signature(module.main).parameters:
+        module.main(list(argv))
+    else:
+        module.main()
 
 
 def test_quickstart_example(capsys):
     run_example("quickstart")
     out = capsys.readouterr().out
     assert "pixels identical on both ends : True" in out
+
+
+def test_quickstart_capture_flag(capsys, tmp_path):
+    from repro.obs import SlimcapReader, is_slimcap
+
+    capture = tmp_path / "q.slimcap"
+    run_example("quickstart", argv=["--capture", str(capture)])
+    out = capsys.readouterr().out
+    assert "wire capture" in out
+    assert is_slimcap(capture)
+    opcodes = {m.opcode for m in SlimcapReader(capture).messages()}
+    assert "SET" in opcodes and "StatusMessage" in opcodes
 
 
 def test_lossy_display_example(capsys):

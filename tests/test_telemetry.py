@@ -72,6 +72,42 @@ class TestP2Quantile:
         true = float(np.quantile(data, 0.9))
         assert abs(est.value() - true) / true < 0.05
 
+    def test_single_observation_is_exact_for_any_quantile(self):
+        for q in (0.01, 0.5, 0.99):
+            est = P2Quantile(q)
+            est.observe(42.0)
+            assert est.value() == 42.0
+
+    def test_below_five_matches_linear_interpolation(self):
+        # The pre-marker phase must agree with numpy's linear method.
+        data = [4.0, 1.0, 3.0, 2.0]
+        for n in (2, 3, 4):
+            for q in (0.5, 0.9):
+                est = P2Quantile(q)
+                for x in data[:n]:
+                    est.observe(x)
+                expected = float(np.quantile(data[:n], q))
+                assert est.value() == pytest.approx(expected)
+
+    def test_all_equal_samples(self):
+        # Degenerate marker heights must not divide by zero or drift.
+        for q in (0.5, 0.9, 0.99):
+            est = P2Quantile(q)
+            for _ in range(100):
+                est.observe(5.0)
+            assert est.value() == 5.0
+
+    def test_monotone_stream_accuracy(self):
+        # A strictly increasing stream is the adversarial case for the
+        # marker update (every observation lands in the last cell).
+        n = 10_000
+        for q in (0.5, 0.99):
+            est = P2Quantile(q)
+            for x in range(n):
+                est.observe(float(x))
+            true = float(np.quantile(np.arange(n), q))
+            assert abs(est.value() - true) / true < 0.05
+
 
 class TestHistogram:
     def test_count_sum_min_max_mean(self):
@@ -196,6 +232,39 @@ class TestTracer:
             sim.schedule(2.0, lambda: None)
             sim.run()
         assert reg.get("span.evt.seconds").sum == pytest.approx(2.0)
+
+    def test_escaped_exception_unwinds_abandoned_children(self):
+        # Regression: a span entered manually (or whose __exit__ never
+        # ran because an exception escaped) used to stay on the stack
+        # when its parent closed, corrupting `current` and mis-parenting
+        # every later span.
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.span("inner").__enter__()  # abandoned below
+                raise RuntimeError("escapes before inner's __exit__")
+        assert tracer.current is None
+        with tracer.span("after") as span:
+            assert span.parent is None
+        assert tracer.current is None
+
+    def test_deeply_nested_abandonment_unwinds_all(self):
+        tracer = Tracer(registry=MetricsRegistry())
+        with tracer.span("root"):
+            for name in ("a", "b", "c"):
+                tracer.span(name).__enter__()
+        assert tracer.current is None
+
+    def test_double_close_is_harmless(self):
+        tracer = Tracer(registry=MetricsRegistry())
+        ctx = tracer.span("once")
+        ctx.__enter__()
+        with tracer.span("sibling"):
+            pass
+        ctx.__exit__(None, None, None)
+        ctx.__exit__(None, None, None)  # double close: must not pop others
+        assert tracer.current is None
 
 
 class TestSamplePeriodically:
