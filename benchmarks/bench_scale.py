@@ -1,13 +1,31 @@
-"""Scale knobs for the benchmark harness.
+"""Thin compatibility shim — the knobs live in :mod:`repro.perf.scale`.
 
-Benchmarks default to a reduced study size so the whole harness completes
-in minutes; set ``REPRO_FULL_SCALE=1`` for the paper's 50-user,
-ten-minute configuration.
+The benchmark suite's scale configuration (and the ad-hoc timing that
+used to accompany it) was ported onto the ``repro.perf`` harness: the
+knobs moved to :mod:`repro.perf.scale` so library code can read them
+too, and timing now goes through ``python -m repro.perf``.  This module
+keeps the historical import path working::
+
+    from bench_scale import DURATION, N_USERS
+
+and, run as a script, forwards to the harness CLI::
+
+    python benchmarks/bench_scale.py --quick    # == python -m repro.perf
 """
 
-import os
+from repro.perf.scale import (  # noqa: F401
+    DURATION,
+    FULL_SCALE,
+    N_USERS,
+    SIM_SECONDS,
+)
 
-FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
-N_USERS = 50 if FULL_SCALE else 8
-DURATION = 600.0 if FULL_SCALE else 300.0
-SIM_SECONDS = 120.0 if FULL_SCALE else 45.0
+
+def main(argv=None) -> int:
+    from repro.perf.__main__ import main as perf_main
+
+    return perf_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

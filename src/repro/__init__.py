@@ -21,6 +21,8 @@ The package implements the complete SLIM system in simulation:
 * :mod:`repro.telemetry` — zero-dependency metrics + tracing for the
   reproduction's own hot paths (off by default).
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.perf` — self-measurement: benchmark harness, BENCH json
+  perf trajectory, live progress monitoring.
 
 Quick start::
 

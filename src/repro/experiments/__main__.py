@@ -8,14 +8,26 @@ Usage::
     python -m repro.experiments --metrics table4   # + telemetry report
     python -m repro.experiments --capture run.slimcap lossy   # wire capture
     python -m repro.experiments --trace-events t.json lossy   # Chrome trace
+    python -m repro.experiments --progress fig11   # live health line
+    python -m repro.experiments --profile fig9     # cProfile top-N
+    python -m repro.experiments --memprofile fig9  # tracemalloc diff
+
+Long runs print a live one-line health readout with ``--progress``
+(sim-time, events/sec, drops, ETA).  Ctrl-C is safe: partial results,
+telemetry, and captures collected so far are flushed before exit
+(status 130).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import sys
 import time
+import tracemalloc
 
 # Importing the modules registers their runners.
 from repro.experiments import (  # noqa: F401
@@ -45,6 +57,7 @@ from repro.obs import (
     chrome_trace_events,
     use_obs,
 )
+from repro.perf.progress import live_progress
 from repro.telemetry import (
     MetricsRegistry,
     render_json,
@@ -102,6 +115,38 @@ def main(argv=None) -> int:
         help="write causal update traces as Chrome trace_event JSON "
         "(load in about:tracing / Perfetto)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live progress/health line while simulators run "
+        "(sim-time, events/sec, drops, ETA)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="profile.txt",
+        default=None,
+        metavar="PATH",
+        help="cProfile the runs; write the top functions by cumulative "
+        "time next to the results (default: profile.txt)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=30,
+        metavar="N",
+        help="rows in the profile report (default: 30)",
+    )
+    parser.add_argument(
+        "--memprofile",
+        nargs="?",
+        const="memprofile.txt",
+        default=None,
+        metavar="PATH",
+        help="tracemalloc the runs; write the top allocation sites "
+        "(snapshot diff, grouped by line) next to the results "
+        "(default: memprofile.txt)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -129,16 +174,44 @@ def main(argv=None) -> int:
     writer = SlimcapWriter(args.capture) if args.capture is not None else None
     obs = ObsContext(tracer=tracer, capture=writer) if observing else None
 
+    profiler = cProfile.Profile() if args.profile is not None else None
+    if args.memprofile is not None:
+        tracemalloc.start()
+        memory_before = tracemalloc.take_snapshot()
+
+    # The run loop is interruptible: everything collected up to a Ctrl-C
+    # — printed tables, telemetry, captures, profiles — is flushed by
+    # the reporting code below, which runs either way.  A partial
+    # multi-hour scalability run is still data.
     results = []
-    with use_registry(registry) if collect else _null_context():
-        with use_obs(obs) if observing else _null_context():
-            for experiment_id in selected:
-                started = time.time()
-                result = EXPERIMENTS[experiment_id].runner(config)
-                results.append(result)
-                print(render_table(result))
-                print(f"  ({time.time() - started:.1f}s)")
-                print()
+    interrupted = False
+    try:
+        with use_registry(registry) if collect else _null_context():
+            with use_obs(obs) if observing else _null_context():
+                with (
+                    live_progress(target_sim_seconds=args.duration)
+                    if args.progress
+                    else _null_context()
+                ):
+                    for experiment_id in selected:
+                        started = time.time()
+                        if profiler is not None:
+                            profiler.enable()
+                        try:
+                            result = EXPERIMENTS[experiment_id].runner(config)
+                        finally:
+                            if profiler is not None:
+                                profiler.disable()
+                        results.append(result)
+                        print(render_table(result))
+                        print(f"  ({time.time() - started:.1f}s)")
+                        print()
+    except KeyboardInterrupt:
+        interrupted = True
+        print(
+            "\ninterrupted — flushing partial results and reports",
+            file=sys.stderr,
+        )
 
     if writer is not None:
         # Embed the completed causal traces so the capture file carries
@@ -165,12 +238,45 @@ def main(argv=None) -> int:
             with open(args.metrics_json, "w", encoding="utf-8") as fh:
                 fh.write(render_json(registry))
             print(f"telemetry JSON written to {args.metrics_json}")
+    if profiler is not None:
+        _write_profile(profiler, args.profile, args.profile_top)
+        print(f"cProfile report written to {args.profile}")
+    if args.memprofile is not None:
+        memory_after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        _write_memprofile(memory_before, memory_after, args.memprofile)
+        print(f"tracemalloc report written to {args.memprofile}")
     if args.markdown:
         from repro.experiments.report import write_report
 
         path = write_report(results, args.markdown)
         print(f"markdown report written to {path}")
-    return 0
+    return 130 if interrupted else 0
+
+
+def _write_profile(profiler: cProfile.Profile, path: str, top: int) -> None:
+    """Top functions by cumulative time, written next to the results."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(top)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(buffer.getvalue())
+
+
+def _write_memprofile(before, after, path: str, top: int = 25) -> None:
+    """Allocation-site snapshot diff, biggest net growth first."""
+    growth = after.compare_to(before, "lineno")
+    lines = ["net allocation growth during the runs, by source line", ""]
+    for stat in growth[:top]:
+        lines.append(
+            f"{stat.size_diff / 1024:+10.1f} KiB  "
+            f"({stat.count_diff:+d} blocks)  {stat.traceback}"
+        )
+    total = sum(stat.size_diff for stat in growth)
+    lines.append("")
+    lines.append(f"total net growth: {total / 1024:.1f} KiB")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 class _null_context:

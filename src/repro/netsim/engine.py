@@ -14,6 +14,28 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Factory invoked (with the new simulator) by every ``Simulator()``
+#: construction while installed; whatever it returns becomes that
+#: simulator's monitor.  This is how ``repro.perf.progress`` attaches a
+#: live health line to simulators built deep inside experiment code
+#: without threading a parameter through every layer.
+_default_monitor_factory: Optional[Callable[["Simulator"], Callable]] = None
+
+#: How many events fire between monitor callbacks unless the monitor
+#: object declares its own ``every`` attribute.
+DEFAULT_MONITOR_EVERY = 5000
+
+
+def set_default_monitor(
+    factory: Optional[Callable[["Simulator"], Callable]],
+) -> Optional[Callable[["Simulator"], Callable]]:
+    """Install (or clear, with None) the monitor factory; returns the
+    previous one so callers can restore it."""
+    global _default_monitor_factory
+    previous = _default_monitor_factory
+    _default_monitor_factory = factory
+    return previous
+
 
 class Simulator:
     """An event queue with a clock.
@@ -32,6 +54,22 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self._monitor: Optional[Callable[["Simulator"], None]] = None
+        self._monitor_every = DEFAULT_MONITOR_EVERY
+        if _default_monitor_factory is not None:
+            self.set_monitor(_default_monitor_factory(self))
+
+    def set_monitor(
+        self, monitor: Optional[Callable[["Simulator"], None]]
+    ) -> None:
+        """Install a callback invoked with this simulator every
+        ``monitor.every`` (default :data:`DEFAULT_MONITOR_EVERY`) events.
+
+        Disabled (None) costs one attribute test per event.
+        """
+        self._monitor = monitor
+        every = getattr(monitor, "every", DEFAULT_MONITOR_EVERY)
+        self._monitor_every = max(1, int(every))
 
     # -- scheduling ------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
@@ -57,6 +95,11 @@ class Simulator:
         self.now = when
         self.events_processed += 1
         callback()
+        if (
+            self._monitor is not None
+            and self.events_processed % self._monitor_every == 0
+        ):
+            self._monitor(self)
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:

@@ -1,0 +1,114 @@
+"""Measure the simulator's own performance from the command line.
+
+Usage::
+
+    python -m repro.perf                      # all scenarios, full size
+    python -m repro.perf --quick              # CI-sized smoke (~1 min)
+    python -m repro.perf --list               # what's registered
+    python -m repro.perf --only wire_roundtrip,e2e_session
+    python -m repro.perf -o bench.json        # default: BENCH_<sha>.json
+
+Compare two trajectory files with::
+
+    python -m repro.tools.benchdiff OLD.json NEW.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+# Importing the module registers the scenarios.
+import repro.perf.scenarios  # noqa: F401
+from repro.perf.harness import SCENARIOS, run_harness
+from repro.perf.schema import default_bench_path, git_sha, write_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the reproduction's own hot paths and write "
+        "a BENCH_<git-sha>.json perf-trajectory file.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workload sizes (CI smoke; completes in ~a minute)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="measured iterations per scenario; the median is reported "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="discarded warmup iterations per scenario (default: 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=17, help="root scenario seed (default: 17)"
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAMES",
+        help="comma-separated subset of scenarios to run",
+    )
+    parser.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip the tracemalloc pass (faster; no allocation metrics)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="output file (default: BENCH_<git-sha>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in SCENARIOS.values():
+            print(f"{spec.name:<16} {spec.title}")
+        return 0
+
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+
+    mode = "quick" if args.quick else "full"
+    print(
+        f"repro.perf @ {git_sha()} — {mode} mode, "
+        f"median of {args.repeats} (+{args.warmup} warmup)"
+    )
+    started = time.perf_counter()
+    runs = run_harness(
+        names=names,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        quick=args.quick,
+        seed=args.seed,
+        measure_memory=not args.no_memory,
+        on_progress=lambda line: print(f"  {line}"),
+    )
+    config = {
+        "quick": args.quick,
+        "repeats": args.repeats,
+        "warmup": args.warmup,
+        "seed": args.seed,
+    }
+    path = args.output if args.output else default_bench_path()
+    path = write_bench(runs, config, path)
+    total = time.perf_counter() - started
+    print(f"{len(runs)} scenarios in {total:.1f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

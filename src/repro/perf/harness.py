@@ -1,0 +1,323 @@
+"""Self-measurement harness: pinned scenarios timing the simulator itself.
+
+The paper measures SLIM; this module measures the *reproduction* — how
+fast the simulation executes on real hardware.  The ROADMAP's north star
+("as fast as the hardware allows") is only checkable if every PR leaves
+a perf datapoint behind, so the harness turns a set of pinned, seeded
+scenarios into a ``BENCH_<git-sha>.json`` trajectory file
+(:mod:`repro.perf.schema`) that :mod:`repro.tools.benchdiff` compares
+across commits.
+
+Design rules, learned from the usual benchmarking failure modes:
+
+* **Pinned and seeded** — every scenario fixes its RNG seeds and
+  workload sizes, so the work done is identical run to run; only the
+  execution speed varies.
+* **Median of N with warmup discard** — each scenario runs ``warmup``
+  throwaway iterations (allocator/import/JIT-less cache warmth), then
+  ``repeats`` measured ones; the reported value is the median, which a
+  single scheduling hiccup cannot move.
+* **Memory measured out of band** — tracemalloc slows execution several
+  fold, so the timed samples run untraced and one extra pass (not
+  timed) collects the allocation peak.
+* **Counts vs rates** — scenarios return raw, deterministic *counts*
+  (events, packets, pixels); the harness derives the per-second rates
+  from its own wall-clock measurement.  Rates are the regression-gated
+  metrics; counts are recorded as informational context (a count change
+  means the workload changed, not that it got slower).
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import sys
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Metric",
+    "SCENARIOS",
+    "ScenarioContext",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "measure_scenario",
+    "rates_from_samples",
+    "run_harness",
+    "scenario",
+]
+
+#: Count key with a dedicated derived metric: simulated seconds advanced
+#: by the scenario become ``sim_speedup`` (sim-seconds per wall-second).
+SIM_SECONDS_KEY = "sim_seconds"
+
+
+@dataclass(frozen=True)
+class ScenarioContext:
+    """Knobs a scenario sizes itself from.
+
+    Attributes:
+        quick: Reduced workload sizes (CI smoke; ~seconds per scenario).
+        seed: Root seed; scenarios derive their RNG streams from it so
+            the measured work is bit-identical across runs.
+    """
+
+    quick: bool = False
+    seed: int = 17
+
+    def scale(self, full: int, quick: int) -> int:
+        """Pick the workload size for the current mode."""
+        return quick if self.quick else full
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered benchmark scenario.
+
+    The function does a fixed amount of seeded work and returns raw
+    counts (``{"sim_events": ..., "packets": ..., ...}``); the harness
+    times it and derives rates.
+    """
+
+    name: str
+    title: str
+    fn: Callable[[ScenarioContext], Dict[str, float]]
+
+    def __call__(self, ctx: ScenarioContext) -> Dict[str, float]:
+        return self.fn(ctx)
+
+
+#: Registered scenarios, in registration order (import
+#: :mod:`repro.perf.scenarios` to populate).
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def scenario(name: str, *, title: str = ""):
+    """Register a benchmark scenario (decorator)."""
+
+    def decorate(fn: Callable[[ScenarioContext], Dict[str, float]]):
+        if name in SCENARIOS:
+            raise ReproError(f"perf scenario {name!r} already registered")
+        SCENARIOS[name] = ScenarioSpec(
+            name=name,
+            title=title or (fn.__doc__ or name).strip().splitlines()[0],
+            fn=fn,
+        )
+        return fn
+
+    return decorate
+
+
+@dataclass
+class Metric:
+    """One measured quantity of one scenario.
+
+    Attributes:
+        value: The reported (median) value.
+        unit: Human-readable unit ("s", "1/s", "KiB", ...).
+        higher_is_better: Regression direction for the comparator.
+        compare: Whether :mod:`repro.tools.benchdiff` gates on this
+            metric; informational metrics (raw counts, process RSS) are
+            recorded but never fail a diff.
+        samples: The per-repeat values the median was taken over.
+    """
+
+    value: float
+    unit: str
+    higher_is_better: bool
+    compare: bool = True
+    samples: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "compare": self.compare,
+            "samples": list(self.samples),
+        }
+
+
+@dataclass
+class ScenarioRun:
+    """The harness's measurement of one scenario."""
+
+    name: str
+    title: str
+    repeats: int
+    warmup: int
+    metrics: Dict[str, Metric] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "title": self.title,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "metrics": {k: m.to_dict() for k, m in self.metrics.items()},
+        }
+
+
+def rates_from_samples(
+    samples: Sequence[tuple],
+) -> Dict[str, Metric]:
+    """Derive the metric set from ``(wall_seconds, counts)`` samples.
+
+    Pure so the median/derivation logic is unit-testable without running
+    a scenario: rates are computed per sample and then medianed (never
+    median-count over median-time, which would mix repeats).
+    """
+    if not samples:
+        raise ReproError("no samples to derive metrics from")
+    walls = [wall for wall, _ in samples]
+    metrics: Dict[str, Metric] = {
+        "wall_seconds": Metric(
+            value=statistics.median(walls),
+            unit="s",
+            higher_is_better=False,
+            samples=list(walls),
+        )
+    }
+    keys: List[str] = []
+    for _, counts in samples:
+        for key in counts:
+            if key not in keys:
+                keys.append(key)
+    for key in keys:
+        values = [float(counts.get(key, 0)) for _, counts in samples]
+        metrics[key] = Metric(
+            value=statistics.median(values),
+            unit="",
+            higher_is_better=True,
+            compare=False,
+            samples=values,
+        )
+        if key == SIM_SECONDS_KEY:
+            rate_name, unit = "sim_speedup", "sim-s/s"
+        else:
+            rate_name, unit = f"{key}_per_sec", "1/s"
+        rates = [
+            float(counts.get(key, 0)) / wall if wall > 0 else 0.0
+            for wall, counts in samples
+        ]
+        metrics[rate_name] = Metric(
+            value=statistics.median(rates),
+            unit=unit,
+            higher_is_better=True,
+            samples=rates,
+        )
+    return metrics
+
+
+def _memory_pass(spec: ScenarioSpec, ctx: ScenarioContext) -> int:
+    """One untimed run under tracemalloc; returns the allocation peak."""
+    already_tracing = tracemalloc.is_tracing()
+    if already_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    try:
+        spec.fn(ctx)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return peak
+
+
+def _rss_max_kib() -> Optional[float]:
+    """Process high-water RSS in KiB (informational; not resettable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return None
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return ru_maxrss / 1024 if sys.platform == "darwin" else float(ru_maxrss)
+
+
+def measure_scenario(
+    spec: ScenarioSpec,
+    ctx: ScenarioContext,
+    repeats: int = 3,
+    warmup: int = 1,
+    measure_memory: bool = True,
+) -> ScenarioRun:
+    """Run one scenario ``warmup + repeats`` times and report medians."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ReproError(f"warmup cannot be negative, got {warmup}")
+    for _ in range(warmup):
+        spec.fn(ctx)
+    samples = []
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        counts = spec.fn(ctx)
+        samples.append((time.perf_counter() - started, dict(counts)))
+    metrics = rates_from_samples(samples)
+    if measure_memory:
+        peak = _memory_pass(spec, ctx)
+        metrics["tracemalloc_peak_kib"] = Metric(
+            value=peak / 1024,
+            unit="KiB",
+            higher_is_better=False,
+            samples=[peak / 1024],
+        )
+    rss = _rss_max_kib()
+    if rss is not None:
+        metrics["rss_max_kib"] = Metric(
+            value=rss,
+            unit="KiB",
+            higher_is_better=False,
+            compare=False,
+            samples=[rss],
+        )
+    return ScenarioRun(
+        name=spec.name,
+        title=spec.title,
+        repeats=repeats,
+        warmup=warmup,
+        metrics=metrics,
+    )
+
+
+def run_harness(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    warmup: int = 1,
+    quick: bool = False,
+    seed: int = 17,
+    measure_memory: bool = True,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> List[ScenarioRun]:
+    """Measure the named scenarios (default: all registered, in order)."""
+    selected = list(SCENARIOS) if names is None else list(names)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown perf scenarios: {', '.join(unknown)} "
+            f"(available: {', '.join(SCENARIOS) or 'none registered'})"
+        )
+    runs: List[ScenarioRun] = []
+    for name in selected:
+        spec = SCENARIOS[name]
+        if on_progress is not None:
+            on_progress(f"{name}: running ...")
+        started = time.perf_counter()
+        run = measure_scenario(
+            spec, ScenarioContext(quick=quick, seed=seed),
+            repeats=repeats, warmup=warmup, measure_memory=measure_memory,
+        )
+        runs.append(run)
+        if on_progress is not None:
+            wall = run.metrics["wall_seconds"].value
+            on_progress(
+                f"{name}: {wall * 1000:.1f} ms/iter "
+                f"(total {time.perf_counter() - started:.1f}s)"
+            )
+    return runs

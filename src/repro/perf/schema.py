@@ -1,0 +1,196 @@
+"""The ``BENCH_<git-sha>.json`` perf-trajectory file format.
+
+One file per measured commit.  The schema is versioned so the
+comparator (:mod:`repro.tools.benchdiff`) can refuse to compare files
+whose metric semantics differ, and self-describing — each metric carries
+its unit, regression direction, and whether the comparator should gate
+on it — so new metrics can be added without touching the diff logic.
+
+Top-level document::
+
+    {
+      "kind": "repro-bench",
+      "schema_version": 1,
+      "git_sha": "85b195c",
+      "created_at": "2026-08-06T12:00:00Z",
+      "host": {"python": "3.11.9", "platform": "linux", ...},
+      "config": {"repeats": 3, "warmup": 1, "quick": false, "seed": 17},
+      "scenarios": {
+        "wire_roundtrip": {
+          "title": "...", "repeats": 3, "warmup": 1,
+          "metrics": {
+            "wall_seconds": {"value": ..., "unit": "s",
+                             "higher_is_better": false,
+                             "compare": true, "samples": [...]},
+            ...
+          }
+        }, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.perf.harness import ScenarioRun
+
+__all__ = [
+    "BenchSchemaError",
+    "SCHEMA_KIND",
+    "SCHEMA_VERSION",
+    "bench_document",
+    "default_bench_path",
+    "git_sha",
+    "load_bench",
+    "validate",
+    "write_bench",
+]
+
+SCHEMA_KIND = "repro-bench"
+SCHEMA_VERSION = 1
+
+
+class BenchSchemaError(ReproError):
+    """A BENCH json file is malformed or of an incompatible version."""
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
+    """Short sha of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_document(
+    runs: Sequence[ScenarioRun], config: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Assemble the JSON document for a harness run."""
+    return {
+        "kind": SCHEMA_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.system().lower(),
+            "machine": platform.machine(),
+        },
+        "config": dict(config or {}),
+        "scenarios": {run.name: run.to_dict() for run in runs},
+    }
+
+
+def default_bench_path(
+    directory: Union[str, Path] = ".", sha: Optional[str] = None
+) -> Path:
+    """The canonical trajectory filename: ``BENCH_<git-sha>.json``."""
+    return Path(directory) / f"BENCH_{sha if sha is not None else git_sha()}.json"
+
+
+def write_bench(
+    runs: Sequence[ScenarioRun],
+    config: Optional[Dict[str, object]] = None,
+    path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Write (and validate) a BENCH json file; returns its path."""
+    document = bench_document(runs, config)
+    validate(document)
+    path = Path(path) if path is not None else default_bench_path()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate a BENCH json file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except FileNotFoundError:
+        raise BenchSchemaError(f"no such BENCH file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path} is not valid JSON: {exc}") from exc
+    validate(document, source=str(path))
+    return document
+
+
+def _require(condition: bool, message: str, source: str) -> None:
+    if not condition:
+        raise BenchSchemaError(f"{source}: {message}")
+
+
+def validate(document: object, source: str = "document") -> None:
+    """Raise :class:`BenchSchemaError` unless ``document`` is schema-valid.
+
+    Version gate first: a file written by a different schema version is
+    rejected outright rather than half-parsed.
+    """
+    _require(isinstance(document, dict), "not a JSON object", source)
+    _require(
+        document.get("kind") == SCHEMA_KIND,
+        f"kind is {document.get('kind')!r}, expected {SCHEMA_KIND!r}",
+        source,
+    )
+    version = document.get("schema_version")
+    _require(
+        version == SCHEMA_VERSION,
+        f"schema_version {version!r} is not supported "
+        f"(this build reads version {SCHEMA_VERSION})",
+        source,
+    )
+    _require(isinstance(document.get("git_sha"), str), "missing git_sha", source)
+    scenarios = document.get("scenarios")
+    _require(
+        isinstance(scenarios, dict), "scenarios must be an object", source
+    )
+    for name, entry in scenarios.items():
+        where = f"{source}: scenario {name!r}"
+        _require(isinstance(entry, dict), "entry must be an object", where)
+        metrics = entry.get("metrics")
+        _require(
+            isinstance(metrics, dict) and metrics,
+            "must carry a non-empty metrics object",
+            where,
+        )
+        for metric_name, metric in metrics.items():
+            mwhere = f"{where} metric {metric_name!r}"
+            _require(isinstance(metric, dict), "must be an object", mwhere)
+            _require(
+                isinstance(metric.get("value"), (int, float)),
+                "value must be a number",
+                mwhere,
+            )
+            _require(
+                isinstance(metric.get("higher_is_better"), bool),
+                "higher_is_better must be a bool",
+                mwhere,
+            )
+            _require(
+                isinstance(metric.get("compare"), bool),
+                "compare must be a bool",
+                mwhere,
+            )
+
+
+def comparable_metrics(entry: Dict[str, object]) -> List[str]:
+    """Names of the metrics benchdiff gates on, in file order."""
+    metrics = entry.get("metrics", {})
+    return [name for name, m in metrics.items() if m.get("compare")]

@@ -1,0 +1,426 @@
+"""Compare two BENCH json files and flag perf regressions.
+
+``python -m repro.tools.benchdiff OLD.json NEW.json`` exits non-zero
+when any compared metric got worse by more than its noise threshold —
+the gate CI and PR authors run against the perf trajectory written by
+``python -m repro.perf``.
+
+The decision function is deliberately small and fully unit-tested:
+
+* direction comes from each metric's ``higher_is_better`` flag (the
+  BENCH schema is self-describing);
+* a metric regresses when its *worsening* relative change **strictly
+  exceeds** the threshold — a change landing exactly on the threshold
+  passes, so thresholds read as "tolerated noise";
+* a zero baseline has no relative change; such metrics are reported as
+  ``zero-baseline`` and never fail the diff;
+* metrics marked ``compare: false`` (raw counts, process RSS) are
+  reported as context only;
+* scenarios present in only one file are listed, and fail the diff only
+  under ``--fail-on-missing`` (so adding/removing a scenario does not
+  break CI, while a gate that wants strictness can have it);
+* files written by different schema versions refuse to compare.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.perf.schema import BenchSchemaError, load_bench
+
+__all__ = [
+    "BenchDiff",
+    "MetricDelta",
+    "Thresholds",
+    "classify",
+    "diff_documents",
+    "main",
+    "render_json",
+    "render_markdown",
+    "render_text",
+]
+
+#: Tolerated worsening per metric before it counts as a regression.
+#: Wall-clock and rate metrics are noisy on shared machines, hence the
+#: generous defaults; allocation peaks are nearly deterministic.
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_PER_METRIC = {
+    "tracemalloc_peak_kib": 0.10,
+}
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Noise thresholds, as worsening fractions (0.25 == 25%).
+
+    ``scale`` multiplies every threshold — CI uses ``--scale-thresholds
+    2.0`` against a baseline measured on different hardware, so only
+    gross regressions fail.
+    """
+
+    default: float = DEFAULT_THRESHOLD
+    per_metric: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_PER_METRIC)
+    )
+    scale: float = 1.0
+
+    def for_metric(self, name: str) -> float:
+        return self.per_metric.get(name, self.default) * self.scale
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared across the two files.
+
+    ``worse_frac`` is the relative change in the *worsening* direction:
+    positive means slower/bigger-footprint, negative means improved.
+    """
+
+    scenario: str
+    metric: str
+    old: float
+    new: float
+    unit: str
+    worse_frac: Optional[float]
+    threshold: float
+    status: str  # ok | regressed | improved | zero-baseline | info
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "regressed"
+
+
+def classify(
+    old: float,
+    new: float,
+    higher_is_better: bool,
+    threshold: float,
+) -> tuple:
+    """(status, worse_frac) for one metric pair — the decision function.
+
+    Regression iff the worsening fraction strictly exceeds the
+    threshold; equally-sized improvements are labelled ``improved`` (for
+    reporting; they never fail).  A zero baseline yields
+    ``zero-baseline`` with no fraction (division is undefined, and a
+    metric springing from 0 is a workload change, not a slowdown).
+    """
+    if old == 0:
+        return ("ok", 0.0) if new == 0 else ("zero-baseline", None)
+    worse_frac = (old - new) / old if higher_is_better else (new - old) / old
+    if worse_frac > threshold:
+        return "regressed", worse_frac
+    if worse_frac < -threshold:
+        return "improved", worse_frac
+    return "ok", worse_frac
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two BENCH documents."""
+
+    old_sha: str
+    new_sha: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    missing_in_new: List[str] = field(default_factory=list)
+    missing_in_old: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "improved"]
+
+    def exit_code(self, fail_on_missing: bool = False) -> int:
+        if self.regressions():
+            return 1
+        if fail_on_missing and (self.missing_in_new or self.missing_in_old):
+            return 1
+        return 0
+
+
+def diff_documents(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    thresholds: Optional[Thresholds] = None,
+) -> BenchDiff:
+    """Compare two loaded BENCH documents metric by metric."""
+    if old.get("schema_version") != new.get("schema_version"):
+        raise BenchSchemaError(
+            f"schema version mismatch: old is "
+            f"{old.get('schema_version')!r}, new is "
+            f"{new.get('schema_version')!r} — regenerate the older file"
+        )
+    thresholds = thresholds if thresholds is not None else Thresholds()
+    old_scenarios: Dict[str, dict] = old.get("scenarios", {})
+    new_scenarios: Dict[str, dict] = new.get("scenarios", {})
+    result = BenchDiff(
+        old_sha=str(old.get("git_sha", "?")),
+        new_sha=str(new.get("git_sha", "?")),
+        missing_in_new=[n for n in old_scenarios if n not in new_scenarios],
+        missing_in_old=[n for n in new_scenarios if n not in old_scenarios],
+    )
+    old_config = old.get("config", {}) or {}
+    new_config = new.get("config", {}) or {}
+    for knob in ("quick", "seed"):
+        if old_config.get(knob) != new_config.get(knob):
+            result.warnings.append(
+                f"config mismatch: {knob}={old_config.get(knob)!r} vs "
+                f"{new_config.get(knob)!r} — the files measured different "
+                "workloads; wall-time comparisons are not meaningful"
+            )
+    for name, old_entry in old_scenarios.items():
+        new_entry = new_scenarios.get(name)
+        if new_entry is None:
+            continue
+        old_metrics: Dict[str, dict] = old_entry.get("metrics", {})
+        new_metrics: Dict[str, dict] = new_entry.get("metrics", {})
+        for metric_name, old_metric in old_metrics.items():
+            new_metric = new_metrics.get(metric_name)
+            if new_metric is None:
+                continue
+            old_value = float(old_metric["value"])
+            new_value = float(new_metric["value"])
+            threshold = thresholds.for_metric(metric_name)
+            if not (old_metric.get("compare") and new_metric.get("compare")):
+                _status, worse = classify(
+                    old_value,
+                    new_value,
+                    bool(old_metric["higher_is_better"]),
+                    threshold,
+                )
+                status = "info"
+            else:
+                status, worse = classify(
+                    old_value,
+                    new_value,
+                    bool(old_metric["higher_is_better"]),
+                    threshold,
+                )
+            result.deltas.append(
+                MetricDelta(
+                    scenario=name,
+                    metric=metric_name,
+                    old=old_value,
+                    new=new_value,
+                    unit=str(old_metric.get("unit", "")),
+                    worse_frac=worse,
+                    threshold=threshold,
+                    status=status,
+                )
+            )
+    return result
+
+
+# --- rendering ---------------------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.001:
+        return f"{value:.3g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def _fmt_change(delta: MetricDelta) -> str:
+    if delta.worse_frac is None:
+        return "n/a"
+    # Report the signed change in the metric's own direction (+ = value
+    # went up), which readers find less surprising than "worseness".
+    raw = (delta.new - delta.old) / delta.old if delta.old else 0.0
+    return f"{raw * 100:+.1f}%"
+
+
+def _interesting(delta: MetricDelta, verbose: bool) -> bool:
+    if verbose:
+        return True
+    return delta.status in ("regressed", "improved", "zero-baseline")
+
+
+def render_text(diff: BenchDiff, verbose: bool = False) -> str:
+    lines = [f"benchdiff: {diff.old_sha} -> {diff.new_sha}"]
+    for warning in diff.warnings:
+        lines.append(f"  warning: {warning}")
+    for scenario in sorted({d.scenario for d in diff.deltas}):
+        rows = [
+            d
+            for d in diff.deltas
+            if d.scenario == scenario and _interesting(d, verbose)
+        ]
+        if not rows:
+            continue
+        lines.append(f"  {scenario}:")
+        for d in rows:
+            unit = f" {d.unit}" if d.unit else ""
+            lines.append(
+                f"    [{d.status.upper():^13}] {d.metric}: "
+                f"{_fmt_value(d.old)} -> {_fmt_value(d.new)}{unit} "
+                f"({_fmt_change(d)}, threshold {d.threshold * 100:.0f}%)"
+            )
+    for name in diff.missing_in_new:
+        lines.append(f"  [MISSING] scenario {name!r} absent from new file")
+    for name in diff.missing_in_old:
+        lines.append(f"  [NEW] scenario {name!r} absent from old file")
+    regressions = diff.regressions()
+    if regressions:
+        lines.append(
+            f"{len(regressions)} regression(s) past threshold — see above"
+        )
+    else:
+        lines.append("no regressions past threshold")
+    return "\n".join(lines)
+
+
+def render_markdown(diff: BenchDiff, verbose: bool = False) -> str:
+    lines = [f"### benchdiff: `{diff.old_sha}` → `{diff.new_sha}`", ""]
+    for warning in diff.warnings:
+        lines.append(f"> ⚠️ {warning}")
+        lines.append("")
+    lines += [
+        "| scenario | metric | old | new | change | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for d in diff.deltas:
+        if not _interesting(d, verbose):
+            continue
+        lines.append(
+            f"| {d.scenario} | {d.metric} | {_fmt_value(d.old)} | "
+            f"{_fmt_value(d.new)} | {_fmt_change(d)} | {d.status} |"
+        )
+    for name in diff.missing_in_new:
+        lines.append(f"| {name} | — | — | — | — | missing in new |")
+    for name in diff.missing_in_old:
+        lines.append(f"| {name} | — | — | — | — | new scenario |")
+    regressions = diff.regressions()
+    lines.append("")
+    lines.append(
+        f"**{len(regressions)} regression(s) past threshold.**"
+        if regressions
+        else "**No regressions past threshold.**"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diff: BenchDiff) -> str:
+    return json.dumps(
+        {
+            "old_sha": diff.old_sha,
+            "new_sha": diff.new_sha,
+            "regressions": len(diff.regressions()),
+            "missing_in_new": diff.missing_in_new,
+            "missing_in_old": diff.missing_in_old,
+            "warnings": diff.warnings,
+            "deltas": [
+                {
+                    "scenario": d.scenario,
+                    "metric": d.metric,
+                    "old": d.old,
+                    "new": d.new,
+                    "unit": d.unit,
+                    "worse_frac": d.worse_frac,
+                    "threshold": d.threshold,
+                    "status": d.status,
+                }
+                for d in diff.deltas
+            ],
+        },
+        indent=2,
+    )
+
+
+# --- CLI ---------------------------------------------------------------------
+
+
+def _parse_per_metric(specs: Sequence[str]) -> Dict[str, float]:
+    overrides: Dict[str, float] = {}
+    for spec in specs:
+        name, _, value = spec.partition("=")
+        if not name or not value:
+            raise argparse.ArgumentTypeError(
+                f"expected METRIC=FRACTION, got {spec!r}"
+            )
+        overrides[name] = float(value)
+    return overrides
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.benchdiff",
+        description="Compare two BENCH_<sha>.json files; exit 1 on "
+        "regressions past threshold, 2 on schema errors.",
+    )
+    parser.add_argument("old", help="baseline BENCH json")
+    parser.add_argument("new", help="candidate BENCH json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="default tolerated worsening fraction "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--metric-threshold",
+        action="append",
+        default=[],
+        metavar="METRIC=FRACTION",
+        help="per-metric threshold override (repeatable)",
+    )
+    parser.add_argument(
+        "--scale-thresholds",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply every threshold (cross-machine CI gates use 2.0)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "markdown"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every metric, not only changes",
+    )
+    parser.add_argument(
+        "--fail-on-missing",
+        action="store_true",
+        help="also exit 1 when a scenario exists in only one file",
+    )
+    args = parser.parse_args(argv)
+
+    per_metric = dict(DEFAULT_PER_METRIC)
+    per_metric.update(_parse_per_metric(args.metric_threshold))
+    thresholds = Thresholds(
+        default=args.threshold,
+        per_metric=per_metric,
+        scale=args.scale_thresholds,
+    )
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+        diff = diff_documents(old, new, thresholds)
+    except BenchSchemaError as exc:
+        print(f"benchdiff: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        rendered = render_json(diff)
+    elif args.format == "markdown":
+        rendered = render_markdown(diff, verbose=args.verbose)
+    else:
+        rendered = render_text(diff, verbose=args.verbose)
+    try:
+        print(rendered)
+    except BrokenPipeError:
+        pass  # e.g. piped through `head`; the exit code is the product
+    return diff.exit_code(fail_on_missing=args.fail_on_missing)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""Tests for the BENCH comparator — the perf-regression decision logic.
+
+The satellite-mandated edge cases live here: a scenario missing from one
+file, zero-baseline metrics, threshold boundary exactness, and the
+schema-version mismatch error.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.schema import (
+    SCHEMA_KIND,
+    SCHEMA_VERSION,
+    BenchSchemaError,
+)
+from repro.tools.benchdiff import (
+    DEFAULT_THRESHOLD,
+    BenchDiff,
+    MetricDelta,
+    Thresholds,
+    classify,
+    diff_documents,
+    main,
+    render_json,
+    render_markdown,
+    render_text,
+)
+
+
+def metric(value, higher_is_better=False, compare=True, unit="s"):
+    return {
+        "value": value,
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "compare": compare,
+        "samples": [value],
+    }
+
+
+def document(scenarios, sha="aaaa111", schema_version=SCHEMA_VERSION,
+             config=None):
+    return {
+        "kind": SCHEMA_KIND,
+        "schema_version": schema_version,
+        "git_sha": sha,
+        "created_at": "2026-01-01T00:00:00Z",
+        "host": {"python": "3.x", "platform": "linux"},
+        "config": {"quick": True, "seed": 17} if config is None else config,
+        "scenarios": scenarios,
+    }
+
+
+def one_metric_docs(old_value, new_value, **metric_kwargs):
+    old = document(
+        {"s": {"title": "t", "repeats": 3, "warmup": 1,
+               "metrics": {"m": metric(old_value, **metric_kwargs)}}}
+    )
+    new = document(
+        {"s": {"title": "t", "repeats": 3, "warmup": 1,
+               "metrics": {"m": metric(new_value, **metric_kwargs)}}},
+        sha="bbbb222",
+    )
+    return old, new
+
+
+class TestClassify:
+    """The decision function proper."""
+
+    def test_lower_is_better_regression(self):
+        status, worse = classify(1.0, 1.5, higher_is_better=False,
+                                 threshold=0.25)
+        assert status == "regressed"
+        assert worse == pytest.approx(0.5)
+
+    def test_higher_is_better_regression(self):
+        status, worse = classify(100.0, 60.0, higher_is_better=True,
+                                 threshold=0.25)
+        assert status == "regressed"
+        assert worse == pytest.approx(0.4)
+
+    def test_improvement_is_not_a_regression(self):
+        status, worse = classify(1.0, 0.5, higher_is_better=False,
+                                 threshold=0.25)
+        assert status == "improved"
+        assert worse == pytest.approx(-0.5)
+
+    def test_higher_is_better_improvement(self):
+        status, _ = classify(100.0, 200.0, higher_is_better=True,
+                             threshold=0.25)
+        assert status == "improved"
+
+    def test_threshold_boundary_is_exact(self):
+        # Exactly at the threshold passes: thresholds read as
+        # "tolerated noise", and the comparison is strict.
+        status, worse = classify(1.0, 1.25, higher_is_better=False,
+                                 threshold=0.25)
+        assert status == "ok"
+        assert worse == pytest.approx(0.25)
+        # The tiniest nudge past it regresses.
+        status, _ = classify(1.0, 1.2500001, higher_is_better=False,
+                             threshold=0.25)
+        assert status == "regressed"
+
+    def test_boundary_exactness_on_improvement_side(self):
+        status, _ = classify(1.0, 0.75, higher_is_better=False,
+                             threshold=0.25)
+        assert status == "ok"
+
+    def test_zero_baseline_never_fails(self):
+        status, worse = classify(0.0, 1e9, higher_is_better=False,
+                                 threshold=0.25)
+        assert status == "zero-baseline"
+        assert worse is None
+
+    def test_zero_to_zero_is_ok(self):
+        assert classify(0.0, 0.0, True, 0.25) == ("ok", 0.0)
+
+    def test_unchanged_is_ok(self):
+        status, worse = classify(5.0, 5.0, higher_is_better=True,
+                                 threshold=0.0)
+        assert status == "ok"
+        assert worse == 0.0
+
+
+class TestThresholds:
+    def test_default_and_override(self):
+        t = Thresholds(default=0.25, per_metric={"mem": 0.10})
+        assert t.for_metric("wall_seconds") == 0.25
+        assert t.for_metric("mem") == 0.10
+
+    def test_scale_multiplies_everything(self):
+        t = Thresholds(default=0.25, per_metric={"mem": 0.10}, scale=2.0)
+        assert t.for_metric("wall_seconds") == 0.5
+        assert t.for_metric("mem") == pytest.approx(0.2)
+
+
+class TestDiffDocuments:
+    def test_regression_detected_and_exit_code(self):
+        old, new = one_metric_docs(1.0, 2.0)
+        diff = diff_documents(old, new)
+        assert [d.status for d in diff.deltas] == ["regressed"]
+        assert diff.exit_code() == 1
+
+    def test_within_threshold_passes(self):
+        old, new = one_metric_docs(1.0, 1.0 + DEFAULT_THRESHOLD)
+        diff = diff_documents(old, new)
+        assert diff.regressions() == []
+        assert diff.exit_code() == 0
+
+    def test_schema_version_mismatch_is_an_error(self):
+        old, new = one_metric_docs(1.0, 1.0)
+        new["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="schema version mismatch"):
+            diff_documents(old, new)
+
+    def test_missing_scenario_listed_but_not_fatal_by_default(self):
+        entry = {"title": "t", "repeats": 1, "warmup": 0,
+                 "metrics": {"m": metric(1.0)}}
+        old = document({"kept": entry, "gone": entry})
+        new = document({"kept": entry, "added": entry})
+        diff = diff_documents(old, new)
+        assert diff.missing_in_new == ["gone"]
+        assert diff.missing_in_old == ["added"]
+        assert diff.exit_code() == 0
+        assert diff.exit_code(fail_on_missing=True) == 1
+
+    def test_zero_baseline_metric_reported_not_failed(self):
+        old, new = one_metric_docs(0.0, 123.0)
+        diff = diff_documents(old, new)
+        assert [d.status for d in diff.deltas] == ["zero-baseline"]
+        assert diff.exit_code() == 0
+
+    def test_non_compare_metrics_are_info_only(self):
+        old, new = one_metric_docs(100.0, 1000.0, compare=False)
+        diff = diff_documents(old, new)
+        assert [d.status for d in diff.deltas] == ["info"]
+        assert diff.exit_code() == 0
+
+    def test_metric_missing_in_one_file_is_skipped(self):
+        old, new = one_metric_docs(1.0, 1.0)
+        new["scenarios"]["s"]["metrics"]["extra"] = metric(5.0)
+        diff = diff_documents(old, new)
+        assert {d.metric for d in diff.deltas} == {"m"}
+
+    def test_per_metric_threshold_applies(self):
+        old, new = one_metric_docs(100.0, 112.0)  # +12%
+        loose = diff_documents(old, new, Thresholds(default=0.25))
+        strict = diff_documents(
+            old, new, Thresholds(default=0.25, per_metric={"m": 0.10})
+        )
+        assert loose.exit_code() == 0
+        assert strict.exit_code() == 1
+
+    def test_scaled_thresholds_forgive_more(self):
+        old, new = one_metric_docs(1.0, 1.4)  # +40%
+        assert diff_documents(old, new).exit_code() == 1
+        scaled = diff_documents(old, new, Thresholds(scale=2.0))
+        assert scaled.exit_code() == 0
+
+    def test_config_mismatch_warns(self):
+        old, new = one_metric_docs(1.0, 1.0)
+        new["config"]["quick"] = False
+        diff = diff_documents(old, new)
+        assert any("config mismatch" in w for w in diff.warnings)
+        # A warning is advice, not a failure.
+        assert diff.exit_code() == 0
+
+
+class TestRendering:
+    def make_diff(self):
+        old, new = one_metric_docs(1.0, 2.0)
+        new["config"]["seed"] = 99
+        return diff_documents(old, new)
+
+    def test_text_mentions_regression_and_shas(self):
+        text = render_text(self.make_diff())
+        assert "aaaa111" in text and "bbbb222" in text
+        assert "REGRESSED" in text
+        assert "1 regression(s)" in text
+        assert "config mismatch" in text
+
+    def test_text_clean_diff(self):
+        old, new = one_metric_docs(1.0, 1.0)
+        text = render_text(diff_documents(old, new))
+        assert "no regressions" in text
+
+    def test_markdown_is_a_table(self):
+        md = render_markdown(self.make_diff())
+        assert "| scenario | metric |" in md
+        assert "| s | m |" in md
+        assert "⚠️" in md
+
+    def test_json_roundtrips(self):
+        payload = json.loads(render_json(self.make_diff()))
+        assert payload["regressions"] == 1
+        assert payload["deltas"][0]["status"] == "regressed"
+        assert payload["warnings"]
+
+    def test_verbose_shows_ok_rows(self):
+        old, new = one_metric_docs(1.0, 1.0)
+        diff = diff_documents(old, new)
+        assert "m" not in render_text(diff).split("\n", 1)[1]
+        assert "[     OK      ]" in render_text(diff, verbose=True)
+
+
+class TestExitCodeHelper:
+    def test_empty_diff_exits_zero(self):
+        assert BenchDiff(old_sha="a", new_sha="b").exit_code() == 0
+
+    def test_any_regression_exits_one(self):
+        diff = BenchDiff(old_sha="a", new_sha="b")
+        diff.deltas.append(
+            MetricDelta("s", "m", 1.0, 2.0, "s", 1.0, 0.25, "regressed")
+        )
+        assert diff.exit_code() == 1
+
+
+class TestCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        old, new = one_metric_docs(1.0, 1.05)
+        rc = main([
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path):
+        old, new = one_metric_docs(1.0, 3.0)
+        rc = main([
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ])
+        assert rc == 1
+
+    def test_schema_mismatch_exits_two(self, tmp_path, capsys):
+        old, new = one_metric_docs(1.0, 1.0)
+        new["schema_version"] = SCHEMA_VERSION + 1
+        rc = main([
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ])
+        assert rc == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path):
+        old, _ = one_metric_docs(1.0, 1.0)
+        rc = main([
+            self.write(tmp_path, "old.json", old),
+            str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+
+    def test_scale_thresholds_flag(self, tmp_path):
+        old, new = one_metric_docs(1.0, 1.4)
+        args = [
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ]
+        assert main(args) == 1
+        assert main(args + ["--scale-thresholds", "2.0"]) == 0
+
+    def test_metric_threshold_override_flag(self, tmp_path):
+        old, new = one_metric_docs(100.0, 112.0)
+        args = [
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ]
+        assert main(args) == 0
+        assert main(args + ["--metric-threshold", "m=0.10"]) == 1
+
+    def test_fail_on_missing_flag(self, tmp_path):
+        entry = {"title": "t", "repeats": 1, "warmup": 0,
+                 "metrics": {"m": metric(1.0)}}
+        old = document({"kept": entry, "gone": entry})
+        new = document({"kept": entry})
+        args = [
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+        ]
+        assert main(args) == 0
+        assert main(args + ["--fail-on-missing"]) == 1
+
+    def test_json_format(self, tmp_path, capsys):
+        old, new = one_metric_docs(1.0, 3.0)
+        rc = main([
+            self.write(tmp_path, "old.json", old),
+            self.write(tmp_path, "new.json", new),
+            "--format", "json",
+        ])
+        assert rc == 1
+        assert json.loads(capsys.readouterr().out)["regressions"] == 1

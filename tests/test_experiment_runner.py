@@ -223,6 +223,99 @@ class TestRunSmoke:
         assert any(e["name"] == "console.decode.count" for e in data)
 
 
+class TestCliProfilingAndInterrupt:
+    """--profile / --memprofile hooks and Ctrl-C flushing (satellite b)."""
+
+    def _register(self, experiment_id, fn):
+        @experiment(experiment_id, title=f"fake {experiment_id}")
+        def run(config):
+            return fn(config)
+
+        return run
+
+    def _cleanup(self, *ids):
+        for experiment_id in ids:
+            EXPERIMENTS.pop(experiment_id, None)
+
+    def test_profile_writes_report(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "profile.txt"
+        assert main(["--profile", str(path), "table4"]) == 0
+        text = path.read_text()
+        assert "cumulative" in text  # pstats header
+        assert "cProfile report written" in capsys.readouterr().out
+
+    def test_memprofile_writes_snapshot_diff(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "mem.txt"
+        assert main(["--memprofile", str(path), "table4"]) == 0
+        text = path.read_text()
+        assert "net allocation growth" in text
+        assert "total net growth" in text
+
+    def test_progress_flag_restores_monitor_hook(self, capsys):
+        from repro.experiments.__main__ import main
+        from repro.netsim.engine import Simulator
+
+        assert main(["--progress", "table4"]) == 0
+        # The live_progress context must not leak its factory.
+        assert Simulator()._monitor is None
+
+    def test_keyboard_interrupt_flushes_partial_results(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        self._register(
+            "fake-ok-test",
+            lambda config: ExperimentResult(
+                "fake-ok-test", "ok", rows=[{"v": 1}]
+            ),
+        )
+
+        def interrupt(config):
+            raise KeyboardInterrupt
+
+        self._register("fake-intr-test", interrupt)
+        json_path = tmp_path / "partial-metrics.json"
+        try:
+            rc = main([
+                "--metrics",
+                "--metrics-json", str(json_path),
+                "fake-ok-test",
+                "fake-intr-test",
+            ])
+        finally:
+            self._cleanup("fake-ok-test", "fake-intr-test")
+        captured = capsys.readouterr()
+        assert rc == 130
+        # The completed experiment's table was printed before the
+        # interrupt, and the reports still flushed afterwards.
+        assert "fake-ok-test" in captured.out
+        assert "telemetry report" in captured.out
+        assert "interrupted" in captured.err
+        assert json_path.exists()
+
+    def test_interrupt_with_profile_still_writes_report(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        def interrupt(config):
+            raise KeyboardInterrupt
+
+        self._register("fake-intr2-test", interrupt)
+        path = tmp_path / "profile.txt"
+        try:
+            rc = main(["--profile", str(path), "fake-intr2-test"])
+        finally:
+            self._cleanup("fake-intr2-test")
+        assert rc == 130
+        assert path.exists()
+
+
 class TestUserstudyCache:
     def test_memoised_identity(self):
         from repro.experiments import userstudy
