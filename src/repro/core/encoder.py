@@ -148,9 +148,13 @@ class SlimEncoder:
         bitmap = None
         if self.materialize:
             assert fb is not None
-            block = fb.read(op.rect)
-            fg = np.asarray(op.fg, dtype=np.uint8)
-            bitmap = (block == fg).all(axis=2)
+            rows, cols = op.rect.intersect(fb.bounds).slices()
+            block = fb.pixels[rows, cols]  # view; the comparison copies
+            bitmap = (
+                (block[:, :, 0] == op.fg[0])
+                & (block[:, :, 1] == op.fg[1])
+                & (block[:, :, 2] == op.fg[2])
+            )
         return [cmd.BitmapCommand(rect=op.rect, fg=op.fg, bg=op.bg, bitmap=bitmap)]
 
     def _encode_image(
@@ -247,6 +251,122 @@ class SlimEncoder:
         uniform color (FILL) then a bicolor pattern (BITMAP) before
         falling back to SET.  Adjacent same-color FILL tiles within a
         damage rect row are merged to amortise command startup cost.
+
+        All tiles of a damage rect are classified in one vectorized
+        numpy pass (see :meth:`_classify_tiles`); the emitted command
+        stream is byte-identical to :meth:`encode_damage_scalar`, the
+        per-tile reference implementation the equivalence tests compare
+        against.
+        """
+        out: List[cmd.DisplayCommand] = []
+        for rect in rects:
+            clipped = rect.intersect(framebuffer.bounds)
+            if clipped.empty:
+                continue
+            self._encode_rect_vectorized(framebuffer, clipped, out)
+        return out
+
+    # Tile classes produced by _classify_tiles.
+    _TILE_SET = 0
+    _TILE_FILL = 1
+    _TILE_BITMAP = 2
+
+    def _classify_tiles(self, packed: np.ndarray, ys: np.ndarray, xs: np.ndarray):
+        """Classify every tile of a damage rect in one vectorized pass.
+
+        ``packed`` holds one uint32 per pixel (r<<16|g<<8|b); ``ys``/``xs``
+        are the tile start offsets within the rect.  Per tile the packed
+        minimum equals the maximum iff the tile is uniform (FILL), and a
+        tile is bicolor (BITMAP) iff every pixel equals the packed min or
+        the packed max — the two distinct colors of a bicolor tile *are*
+        its extremes, so this membership test is exact, and it matches
+        the scalar reference's ``color_census(limit=2)`` ordering
+        (census colors sort ascending by packed value, so bg=min, fg=max).
+        """
+        mins = np.minimum.reduceat(np.minimum.reduceat(packed, ys, axis=0), xs, axis=1)
+        maxs = np.maximum.reduceat(np.maximum.reduceat(packed, ys, axis=0), xs, axis=1)
+        uniform = mins == maxs
+        classes = np.zeros(mins.shape, dtype=np.uint8)
+        if self.config.use_fill:
+            classes[uniform] = self._TILE_FILL
+        if self.config.use_bitmap and not uniform.all():
+            heights = np.diff(np.append(ys, packed.shape[0]))
+            widths = np.diff(np.append(xs, packed.shape[1]))
+            min_full = np.repeat(np.repeat(mins, heights, axis=0), widths, axis=1)
+            max_full = np.repeat(np.repeat(maxs, heights, axis=0), widths, axis=1)
+            member = (packed == min_full) | (packed == max_full)
+            bicolor = np.logical_and.reduceat(
+                np.logical_and.reduceat(member, ys, axis=0), xs, axis=1
+            )
+            classes[bicolor & ~uniform] = self._TILE_BITMAP
+        return classes, mins, maxs
+
+    @staticmethod
+    def _unpack_color(packed_value: int) -> Tuple[int, int, int]:
+        value = int(packed_value)
+        return ((value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF)
+
+    def _encode_rect_vectorized(
+        self, fb: FrameBuffer, clipped: Rect, out: List[cmd.DisplayCommand]
+    ) -> None:
+        rows, cols = clipped.slices()
+        block = fb.pixels[rows, cols]  # view, no copy
+        packed = (
+            block[:, :, 0].astype(np.uint32) << 16
+            | block[:, :, 1].astype(np.uint32) << 8
+            | block[:, :, 2].astype(np.uint32)
+        )
+        ys = np.arange(0, clipped.h, self.config.tile_h)
+        xs = np.arange(0, clipped.w, self.config.tile_w)
+        classes, mins, maxs = self._classify_tiles(packed, ys, xs)
+        y_edges = np.append(ys, clipped.h)
+        x_edges = np.append(xs, clipped.w)
+        pending_fill: Optional[cmd.FillCommand] = None
+        for ty in range(len(ys)):
+            y0, y1 = int(y_edges[ty]), int(y_edges[ty + 1])
+            for tx in range(len(xs)):
+                x0, x1 = int(x_edges[tx]), int(x_edges[tx + 1])
+                tile = Rect(clipped.x + x0, clipped.y + y0, x1 - x0, y1 - y0)
+                klass = classes[ty, tx]
+                if klass == self._TILE_FILL:
+                    command = cmd.FillCommand(
+                        rect=tile, color=self._unpack_color(mins[ty, tx])
+                    )
+                    merged = self._try_merge_fill(pending_fill, command)
+                    if merged is not None:
+                        pending_fill = merged
+                        continue
+                    if pending_fill is not None:
+                        out.append(pending_fill)
+                    pending_fill = command
+                    continue
+                if pending_fill is not None:
+                    out.append(pending_fill)
+                    pending_fill = None
+                if klass == self._TILE_BITMAP:
+                    fg_packed = maxs[ty, tx]
+                    out.append(
+                        cmd.BitmapCommand(
+                            rect=tile,
+                            fg=self._unpack_color(fg_packed),
+                            bg=self._unpack_color(mins[ty, tx]),
+                            bitmap=packed[y0:y1, x0:x1] == fg_packed,
+                        )
+                    )
+                else:
+                    out.append(
+                        cmd.SetCommand(rect=tile, data=block[y0:y1, x0:x1].copy())
+                    )
+        if pending_fill is not None:
+            out.append(pending_fill)
+
+    def encode_damage_scalar(
+        self, framebuffer: FrameBuffer, rects: List[Rect]
+    ) -> List[cmd.DisplayCommand]:
+        """Per-tile reference implementation of :meth:`encode_damage`.
+
+        Kept as the semantic oracle: the equivalence tests assert the
+        vectorized path emits this exact command stream.
         """
         out: List[cmd.DisplayCommand] = []
         for rect in rects:

@@ -65,7 +65,12 @@ def pack_bits(values: np.ndarray, bits: int) -> bytes:
     if not 1 <= bits <= 8:
         raise WireFormatError(f"bits must be 1..8, got {bits}")
     flat = np.ascontiguousarray(values, dtype=np.uint8).ravel()
-    if flat.size and int(flat.max()) >= (1 << bits):
+    if flat.size == 0:
+        return b""
+    if bits == 8:
+        # Degenerate field width: the bitstream is the byte stream.
+        return flat.tobytes()
+    if int(flat.max()) >= (1 << bits):
         raise WireFormatError(f"value exceeds {bits}-bit field")
     expanded = np.unpackbits(flat[:, None], axis=1)[:, 8 - bits :]
     return np.packbits(expanded.ravel()).tobytes()
@@ -80,7 +85,11 @@ def unpack_bits(data: bytes, count: int, bits: int) -> np.ndarray:
         raise WireFormatError(
             f"bitstream too short: {len(data)} bytes for {count}x{bits} bits"
         )
-    raw = np.frombuffer(data[:needed], dtype=np.uint8)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if bits == 8:
+        return np.frombuffer(data, dtype=np.uint8, count=count).copy()
+    raw = np.frombuffer(data, dtype=np.uint8, count=needed)
     stream = np.unpackbits(raw)[: count * bits]
     fields = stream.reshape(count, bits)
     weights = (1 << np.arange(bits - 1, -1, -1)).astype(np.uint16)
@@ -95,6 +104,15 @@ def _pack_rect(rect: Rect) -> bytes:
     return _RECT.pack(rect.x, rect.y, rect.w, rect.h)
 
 
+def _pack_rect_into(buf: bytearray, offset: int, rect: Rect) -> int:
+    if not (0 <= rect.x <= 0xFFFF and 0 <= rect.y <= 0xFFFF):
+        raise WireFormatError(f"rect origin out of range: {rect}")
+    if not (rect.w <= 0xFFFF and rect.h <= 0xFFFF):
+        raise WireFormatError(f"rect size out of range: {rect}")
+    _RECT.pack_into(buf, offset, rect.x, rect.y, rect.w, rect.h)
+    return offset + _RECT.size
+
+
 def _unpack_rect(body: bytes, offset: int) -> Tuple[Rect, int]:
     x, y, w, h = _RECT.unpack_from(body, offset)
     return Rect(x, y, w, h), offset + _RECT.size
@@ -103,61 +121,82 @@ def _unpack_rect(body: bytes, offset: int) -> Tuple[Rect, int]:
 # --- per-command body encoding ----------------------------------------------
 
 
-def encode_body(message: cmd.Command) -> bytes:
-    """Serialise a message body.  Materialises zero payloads if absent.
+def encode_body_into(message: cmd.Command, buf: bytearray, offset: int) -> int:
+    """Serialise a message body into a preallocated zero-filled buffer.
 
-    Accounting-only display commands (payload ``None``) are encoded with
-    zero-filled pixel data so that wire sizes stay exact either way.
+    Returns the end offset.  The buffer must have at least
+    ``message.payload_nbytes()`` bytes of room at ``offset`` and those
+    bytes must be zero: accounting-only display commands (payload
+    ``None``) then need no writes at all — the zero fill *is* their
+    encoding — so wire sizes stay exact either way.
     """
     if isinstance(message, cmd.SetCommand):
+        end = _pack_rect_into(buf, offset, message.rect)
         rect = message.rect
+        nbytes = rect.area * 3
         if message.data is not None:
-            pixels = np.ascontiguousarray(message.data, dtype=np.uint8)
-        else:
-            pixels = np.zeros((rect.h, rect.w, 3), dtype=np.uint8)
-        return _pack_rect(rect) + pixels.tobytes()
+            view = np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=end)
+            view.reshape(rect.h, rect.w, 3)[:] = message.data
+        return end + nbytes
     if isinstance(message, cmd.BitmapCommand):
         rect = message.rect
+        end = _pack_rect_into(buf, offset, rect)
+        _COLOR.pack_into(buf, end, *message.fg)
+        _COLOR.pack_into(buf, end + 3, *message.bg)
+        end += 6
+        row_bytes = cmd.bitmap_row_bytes(rect.w)
         if message.bitmap is not None:
-            bitmap = message.bitmap.astype(np.uint8)
-        else:
-            bitmap = np.zeros((rect.h, rect.w), dtype=np.uint8)
-        rows = [np.packbits(bitmap[r]).tobytes() for r in range(rect.h)]
-        return (
-            _pack_rect(rect)
-            + _COLOR.pack(*message.fg)
-            + _COLOR.pack(*message.bg)
-            + b"".join(rows)
-        )
-    if isinstance(message, cmd.FillCommand):
-        return _pack_rect(message.rect) + _COLOR.pack(*message.color)
-    if isinstance(message, cmd.CopyCommand):
-        return _pack_rect(message.rect) + struct.pack(
-            ">HH", message.src_x, message.src_y
-        )
-    if isinstance(message, cmd.CscsCommand):
-        payload = message.payload
-        if payload is None:
-            payload = bytes(
-                cmd.cscs_plane_bytes(message.src_w, message.src_h, message.bits_per_pixel)
+            # One batched call: packbits(axis=1) pads every row to a byte
+            # boundary exactly like the per-row loop it replaces.
+            packed = np.packbits(message.bitmap, axis=1)
+            view = np.frombuffer(
+                buf, dtype=np.uint8, count=rect.h * row_bytes, offset=end
             )
-        return (
-            _pack_rect(message.rect)
-            + struct.pack(">HHB", message.src_w, message.src_h, message.bits_per_pixel)
-            + payload
+            view.reshape(rect.h, row_bytes)[:] = packed
+        return end + rect.h * row_bytes
+    if isinstance(message, cmd.FillCommand):
+        end = _pack_rect_into(buf, offset, message.rect)
+        _COLOR.pack_into(buf, end, *message.color)
+        return end + 3
+    if isinstance(message, cmd.CopyCommand):
+        end = _pack_rect_into(buf, offset, message.rect)
+        struct.pack_into(">HH", buf, end, message.src_x, message.src_y)
+        return end + 4
+    if isinstance(message, cmd.CscsCommand):
+        end = _pack_rect_into(buf, offset, message.rect)
+        struct.pack_into(
+            ">HHB", buf, end, message.src_w, message.src_h, message.bits_per_pixel
         )
+        end += 5
+        nbytes = cmd.cscs_plane_bytes(
+            message.src_w, message.src_h, message.bits_per_pixel
+        )
+        if message.payload is not None:
+            buf[end : end + nbytes] = message.payload
+        return end + nbytes
     if isinstance(message, cmd.KeyEvent):
-        return struct.pack(">HB", message.code, 1 if message.pressed else 0)
+        struct.pack_into(">HB", buf, offset, message.code, 1 if message.pressed else 0)
+        return offset + 3
     if isinstance(message, cmd.MouseEvent):
-        return struct.pack(">HHB", message.x, message.y, message.buttons)
+        struct.pack_into(">HHB", buf, offset, message.x, message.y, message.buttons)
+        return offset + 5
     if isinstance(message, cmd.AudioData):
-        return bytes(message.nbytes)
+        return offset + message.nbytes
     if isinstance(message, cmd.StatusMessage):
-        return struct.pack(">HI", message.kind, message.value)
+        struct.pack_into(">HI", buf, offset, message.kind, message.value)
+        return offset + 6
     if isinstance(message, (cmd.BandwidthRequest, cmd.BandwidthGrant)):
         kbps = int(round(message.bits_per_second / 1000))
-        return struct.pack(">II", message.client_id, kbps)
+        struct.pack_into(">II", buf, offset, message.client_id, kbps)
+        return offset + 8
     raise WireFormatError(f"cannot encode message type {type(message).__name__}")
+
+
+def encode_body(message: cmd.Command) -> bytes:
+    """Serialise a message body.  Materialises zero payloads if absent."""
+    buf = bytearray(message.payload_nbytes())
+    encode_body_into(message, buf, 0)
+    return bytes(buf)
 
 
 def decode_body(opcode: Opcode, body: bytes) -> cmd.Command:
@@ -182,15 +221,15 @@ def decode_body(opcode: Opcode, body: bytes) -> cmd.Command:
             bg = _COLOR.unpack_from(body, offset + 3)
             offset += 6
             row_bytes = cmd.bitmap_row_bytes(rect.w)
-            rows = []
-            for r in range(rect.h):
-                chunk = body[offset : offset + row_bytes]
-                if len(chunk) != row_bytes:
-                    raise WireFormatError("BITMAP body truncated")
-                bits = np.unpackbits(np.frombuffer(chunk, dtype=np.uint8))
-                rows.append(bits[: rect.w].astype(bool))
-                offset += row_bytes
-            bitmap = np.stack(rows) if rows else np.zeros((0, rect.w), bool)
+            nbytes = rect.h * row_bytes
+            if len(body) - offset < nbytes:
+                raise WireFormatError("BITMAP body truncated")
+            raw = np.frombuffer(body, dtype=np.uint8, count=nbytes, offset=offset)
+            # Batched inverse of the axis=1 packbits used on encode.
+            bitmap = (
+                np.unpackbits(raw.reshape(rect.h, row_bytes), axis=1)[:, : rect.w]
+                .astype(bool)
+            )
             return cmd.BitmapCommand(rect=rect, fg=fg, bg=bg, bitmap=bitmap)
         if opcode == Opcode.FILL:
             rect, offset = _unpack_rect(body, 0)
@@ -204,7 +243,7 @@ def decode_body(opcode: Opcode, body: bytes) -> cmd.Command:
             rect, offset = _unpack_rect(body, 0)
             src_w, src_h, bpp = struct.unpack_from(">HHB", body, offset)
             offset += 5
-            payload = body[offset:]
+            payload = bytes(body[offset:])
             return cmd.CscsCommand(
                 rect=rect,
                 src_w=src_w,
@@ -234,10 +273,18 @@ def decode_body(opcode: Opcode, body: bytes) -> cmd.Command:
     raise WireFormatError(f"unknown opcode {opcode}")
 
 
+def _encode_message_buffer(message: cmd.Command, seq: int) -> bytearray:
+    """Serialise header + body into one preallocated buffer (no copies)."""
+    size = message.payload_nbytes()
+    buf = bytearray(HEADER_BYTES + size)
+    HEADER.pack_into(buf, 0, MAGIC, VERSION, int(message.opcode), seq, size)
+    encode_body_into(message, buf, HEADER_BYTES)
+    return buf
+
+
 def encode_message(message: cmd.Command, seq: int) -> bytes:
     """Serialise a full message: header + body."""
-    body = encode_body(message)
-    return HEADER.pack(MAGIC, VERSION, int(message.opcode), seq, len(body)) + body
+    return bytes(_encode_message_buffer(message, seq))
 
 
 def decode_message(data: bytes) -> Tuple[cmd.Command, int]:
@@ -278,7 +325,14 @@ def message_wire_nbytes(message: cmd.Command) -> int:
 
 @dataclass(frozen=True)
 class Datagram:
-    """One UDP datagram carrying a fragment of a SLIM message."""
+    """One UDP datagram carrying a fragment of a SLIM message.
+
+    ``payload`` is any bytes-like object: the sending side hands out
+    read-only memoryview slices of the encoded message (zero-copy
+    fragmentation), the receiving side materialises bytes.
+    """
+
+    __slots__ = ("seq", "index", "count", "payload")
 
     seq: int
     index: int
@@ -291,7 +345,9 @@ class Datagram:
         return len(self.payload) + IP_UDP_HEADER_BYTES + FRAGMENT_HEADER_BYTES
 
     def to_bytes(self) -> bytes:
-        return FRAGMENT_HEADER.pack(self.seq, self.index, self.count) + self.payload
+        return FRAGMENT_HEADER.pack(self.seq, self.index, self.count) + bytes(
+            self.payload
+        )
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Datagram":
@@ -327,16 +383,19 @@ class WireCodec:
         """Encode a message and split it into MTU-sized datagrams."""
         if seq is None:
             seq = self.next_seq()
-        blob = encode_message(message, seq)
+        blob = _encode_message_buffer(message, seq)
         count = max(1, -(-len(blob) // MTU_PAYLOAD))
         if count > 0xFFFF:
             raise WireFormatError(f"message needs {count} fragments (> 65535)")
+        # Fragment payloads are read-only views into the single encode
+        # buffer: no per-fragment copies are made on the send path.
+        view = memoryview(blob).toreadonly()
         return [
             Datagram(
                 seq=seq,
                 index=i,
                 count=count,
-                payload=blob[i * MTU_PAYLOAD : (i + 1) * MTU_PAYLOAD],
+                payload=view[i * MTU_PAYLOAD : (i + 1) * MTU_PAYLOAD],
             )
             for i in range(count)
         ]

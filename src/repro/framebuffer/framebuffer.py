@@ -85,7 +85,12 @@ class FrameBuffer:
         if clipped.empty:
             return clipped
         rows, cols = clipped.slices()
-        self.pixels[rows, cols] = np.asarray(color, dtype=np.uint8)
+        target = self.pixels[rows, cols]
+        # Per-channel assignment: broadcasting a (3,) into (h, w, 3) is
+        # ~4x slower than three contiguous channel fills.
+        target[..., 0] = color[0]
+        target[..., 1] = color[1]
+        target[..., 2] = color[2]
         self._record_damage(clipped)
         return clipped
 
@@ -158,13 +163,12 @@ class FrameBuffer:
             clipped.y - rect.y : clipped.y2 - rect.y,
             clipped.x - rect.x : clipped.x2 - rect.x,
         ].astype(bool)
-        block = np.where(
-            mask[:, :, None],
-            np.asarray(fg, dtype=np.uint8),
-            np.asarray(bg, dtype=np.uint8),
-        )
         rows, cols = clipped.slices()
-        self.pixels[rows, cols] = block
+        target = self.pixels[rows, cols]
+        target[..., 0] = bg[0]
+        target[..., 1] = bg[1]
+        target[..., 2] = bg[2]
+        target[mask] = np.asarray(fg, dtype=np.uint8)
         self._record_damage(clipped)
         return clipped
 

@@ -111,13 +111,20 @@ def synth_glyph_bitmap(rect: Rect, seed: int, density: float) -> np.ndarray:
     # Each glyph cell is ~7x13; ink strokes are 1-2px wide runs.
     run_len = 3
     per_row_runs = max(1, int(rect.w * density / run_len))
-    for row in range(rect.h):
-        # Leading between text lines: every 13th-ish row band has less ink.
-        if row % 13 >= 10:
-            continue
-        starts = rng.integers(0, max(1, rect.w - run_len), size=per_row_runs)
-        for start in starts:
-            bitmap[row, start : start + run_len] = True
+    # Leading between text lines: every 13th-ish row band has less ink.
+    ink_rows = np.flatnonzero(np.arange(rect.h) % 13 < 10)
+    if ink_rows.size == 0:
+        return bitmap
+    # One batched draw fills row-major, consuming the generator's bit
+    # stream in the same order as the per-row draws it replaces, so the
+    # bitmap stays bit-identical for a given seed.
+    starts = rng.integers(
+        0, max(1, rect.w - run_len), size=(ink_rows.size, per_row_runs)
+    )
+    cols = starts[:, :, None] + np.arange(run_len)
+    np.minimum(cols, rect.w - 1, out=cols)
+    rows = np.repeat(ink_rows, per_row_runs * run_len)
+    bitmap[rows, cols.ravel()] = True
     return bitmap
 
 

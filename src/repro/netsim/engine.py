@@ -71,12 +71,29 @@ class Simulator:
         every = getattr(monitor, "every", DEFAULT_MONITOR_EVERY)
         self._monitor_every = max(1, int(every))
 
+    #: Negative delays larger than this magnitude are scheduling bugs;
+    #: smaller ones are float round-off (e.g. ``deadline - self.now``
+    #: computed from values that already include the deadline) and are
+    #: clamped to "now".
+    NEGATIVE_DELAY_EPSILON = 1e-9
+
     # -- scheduling ------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` seconds from now."""
+        """Run ``callback`` ``delay`` seconds from now.
+
+        Tiny negative delays produced by float arithmetic are clamped to
+        zero; genuinely negative delays still raise.
+        """
         if delay < 0:
-            raise SimulationError(f"cannot schedule {delay}s in the past")
-        self.schedule_at(self.now + delay, callback)
+            if delay < -self.NEGATIVE_DELAY_EPSILON:
+                raise SimulationError(f"cannot schedule {delay}s in the past")
+            delay = 0.0
+        # Inlined schedule_at: this is called once per event in every
+        # simulation, and the extra frame is measurable.  ``now + delay``
+        # can never precede ``now`` here, so the ordering check is moot.
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), callback)
+        )
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute time ``when``."""
@@ -111,15 +128,37 @@ class Simulator:
         """
         self._guard_reentry()
         try:
+            # Inlined event loop: cached heappop/queue locals and no
+            # per-event step() frame.  The counter and clock stay on
+            # ``self`` (in-place updates are cheaper than shadow locals
+            # under the adaptive interpreter, and reentrant step() calls
+            # stay consistent for free).  The common case — no event
+            # limit, no monitor — gets a dedicated loop with zero
+            # per-event bookkeeping checks.
+            queue = self._queue
+            pop = heapq.heappop
+            if max_events is None and self._monitor is None:
+                while queue and not self._stopped:
+                    when, _, callback = pop(queue)
+                    self.now = when
+                    self.events_processed += 1
+                    callback()
+                return
             limit = (
                 None if max_events is None else self.events_processed + max_events
             )
-            while (
-                not self._stopped
-                and (limit is None or self.events_processed < limit)
-                and self.step()
-            ):
-                pass
+            while queue and not self._stopped:
+                if limit is not None and self.events_processed >= limit:
+                    break
+                when, _, callback = pop(queue)
+                self.now = when
+                self.events_processed += 1
+                callback()
+                if (
+                    self._monitor is not None
+                    and self.events_processed % self._monitor_every == 0
+                ):
+                    self._monitor(self)
         finally:
             self._running = False
             self._stopped = False
@@ -132,8 +171,25 @@ class Simulator:
         """
         self._guard_reentry()
         try:
-            while not self._stopped and self._queue and self._queue[0][0] <= deadline:
-                self.step()
+            queue = self._queue
+            pop = heapq.heappop
+            if self._monitor is None:
+                while queue and not self._stopped and queue[0][0] <= deadline:
+                    when, _, callback = pop(queue)
+                    self.now = when
+                    self.events_processed += 1
+                    callback()
+            else:
+                while queue and not self._stopped and queue[0][0] <= deadline:
+                    when, _, callback = pop(queue)
+                    self.now = when
+                    self.events_processed += 1
+                    callback()
+                    if (
+                        self._monitor is not None
+                        and self.events_processed % self._monitor_every == 0
+                    ):
+                        self._monitor(self)
             # Only fast-forward the clock when the slice drained naturally:
             # after stop() there may be events before the deadline still
             # queued, and teleporting past them would let a later run

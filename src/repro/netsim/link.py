@@ -113,6 +113,10 @@ class Link:
         #: link's frames (drops and losses included).
         self.capture = None
         self._metrics = registry if registry is not None else get_registry()
+        # Pre-resolved telemetry handles: hot paths pay one None test
+        # when telemetry is disabled (enablement is fixed at construction).
+        self._m_bytes = self._m_packets = self._m_drops = None
+        self._m_losses = self._m_queue_depth = self._m_residency = None
         if self._metrics.enabled:
             m = self._metrics
             self._m_bytes = m.counter("net.link.bytes_sent", link=name)
@@ -134,7 +138,7 @@ class Link:
             and self._queued_bytes + packet.nbytes > self.queue_limit_bytes
         ):
             self.stats.packets_dropped += 1
-            if self._metrics.enabled:
+            if self._m_drops is not None:
                 self._m_drops.inc()
             if self.capture is not None and isinstance(packet.payload, Datagram):
                 self.capture.frame(
@@ -149,7 +153,7 @@ class Link:
             )
         self._queue.append((packet, self.sim.now))
         self._queued_bytes += packet.nbytes
-        if self._metrics.enabled:
+        if self._m_queue_depth is not None:
             self._m_queue_depth.observe(len(self._queue))
         if not self._busy:
             self._transmit_next()
@@ -163,7 +167,7 @@ class Link:
         packet, enqueued_at = self._queue.popleft()
         self._queued_bytes -= packet.nbytes
         self.stats.queue_delay_total += self.sim.now - enqueued_at
-        if self._metrics.enabled:
+        if self._m_residency is not None:
             self._m_residency.observe(self.sim.now - enqueued_at)
         if self._trace is not None and packet.trace_id is not None:
             self._trace.packet_event(
@@ -177,7 +181,7 @@ class Link:
     def _finish_serialization(self, packet: Packet) -> None:
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.nbytes
-        if self._metrics.enabled:
+        if self._m_packets is not None:
             self._m_packets.inc()
             self._m_bytes.inc(packet.nbytes)
         lost = (
@@ -197,7 +201,7 @@ class Link:
             )
         if lost:
             self.stats.packets_lost += 1
-            if self._metrics.enabled:
+            if self._m_losses is not None:
                 self._m_losses.inc()
         elif self._trace is not None and packet.trace_id is not None:
             self.sim.schedule(

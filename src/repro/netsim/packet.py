@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import SimulationError
@@ -11,9 +10,13 @@ from repro.errors import SimulationError
 _packet_ids = itertools.count()
 
 
-@dataclass
 class Packet:
     """One datagram on the wire.
+
+    A plain ``__slots__`` class rather than a dataclass: packets are the
+    single most-allocated object in a simulation, and slots cut both the
+    per-instance memory (no ``__dict__``) and the attribute-access cost
+    on the fabric's hot paths.
 
     Attributes:
         src: Source endpoint address (string, e.g. "server").
@@ -29,15 +32,66 @@ class Packet:
             it so the collector can rebuild the packet's itinerary.
     """
 
-    src: str
-    dst: str
-    nbytes: int
-    payload: Any = None
-    flow: Optional[str] = None
-    created_at: float = 0.0
-    trace_id: Optional[int] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = (
+        "src",
+        "dst",
+        "nbytes",
+        "payload",
+        "flow",
+        "created_at",
+        "trace_id",
+        "packet_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.nbytes <= 0:
-            raise SimulationError(f"packet size must be positive, got {self.nbytes}")
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        payload: Any = None,
+        flow: Optional[str] = None,
+        created_at: float = 0.0,
+        trace_id: Optional[int] = None,
+        packet_id: Optional[int] = None,
+    ) -> None:
+        if nbytes <= 0:
+            raise SimulationError(f"packet size must be positive, got {nbytes}")
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.payload = payload
+        self.flow = flow
+        self.created_at = created_at
+        self.trace_id = trace_id
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(src={self.src!r}, dst={self.dst!r}, nbytes={self.nbytes!r}, "
+            f"payload={self.payload!r}, flow={self.flow!r}, "
+            f"created_at={self.created_at!r}, trace_id={self.trace_id!r}, "
+            f"packet_id={self.packet_id!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.src,
+            self.dst,
+            self.nbytes,
+            self.payload,
+            self.flow,
+            self.created_at,
+            self.trace_id,
+            self.packet_id,
+        ) == (
+            other.src,
+            other.dst,
+            other.nbytes,
+            other.payload,
+            other.flow,
+            other.created_at,
+            other.trace_id,
+            other.packet_id,
+        )

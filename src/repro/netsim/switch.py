@@ -45,6 +45,9 @@ class Switch:
         self.packets_forwarded = 0
         self.packets_unrouteable = 0
         self._metrics = registry if registry is not None else get_registry()
+        # Pre-resolved telemetry handles: hot paths pay one None test
+        # when telemetry is disabled (enablement is fixed at construction).
+        self._m_forwarded = self._m_unrouteable = self._m_queue_depth = None
         if self._metrics.enabled:
             m = self._metrics
             self._m_forwarded = m.counter("net.switch.packets_forwarded", switch=name)
@@ -66,11 +69,11 @@ class Switch:
         link = self._ports.get(packet.dst)
         if link is None:
             self.packets_unrouteable += 1
-            if self._metrics.enabled:
+            if self._m_unrouteable is not None:
                 self._m_unrouteable.inc()
             return
         self.packets_forwarded += 1
-        if self._metrics.enabled:
+        if self._m_forwarded is not None:
             self._m_forwarded.inc()
             # Output-port occupancy at forwarding time: the contention
             # signal of Figure 11 (the shared switch->server port).

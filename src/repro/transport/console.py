@@ -22,7 +22,7 @@ recovered without any out-of-band settle loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import ProtocolError
@@ -39,14 +39,26 @@ from repro.telemetry.metrics import MetricsRegistry, get_registry
 CONTROL_FLOW = "display-control"
 
 
-@dataclass
 class PendingRecovery:
-    """One sequence number the console believes is missing."""
+    """One sequence number the console believes is missing.
 
-    seq: int
-    suspected_at: float
-    nacked_at: Optional[float] = None
-    nacks: int = 0
+    A ``__slots__`` class: one is allocated per suspected loss on the
+    decode hot path.
+    """
+
+    __slots__ = ("seq", "suspected_at", "nacked_at", "nacks")
+
+    def __init__(
+        self,
+        seq: int,
+        suspected_at: float,
+        nacked_at: Optional[float] = None,
+        nacks: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.suspected_at = suspected_at
+        self.nacked_at = nacked_at
+        self.nacks = nacks
 
 
 @dataclass
@@ -71,20 +83,23 @@ class ConsoleChannelStats:
         return self.recovery_latency_total / self.recoveries_timed
 
 
-@dataclass
 class _SeqTracker:
     """Resolved-set with a moving frontier, plus a hole scanner.
 
     ``frontier`` is the lowest unresolved seq: everything below it has
     been received or confirmed recovered, so the resolved set stays
     small.  ``scanned_to`` remembers how far holes have already been
-    turned into suspects, keeping the scan incremental.
+    turned into suspects, keeping the scan incremental.  Slotted: its
+    fields are touched once per completed message.
     """
 
-    frontier: int = 0
-    scanned_to: int = 0
-    highest_seen: int = -1
-    resolved: set = field(default_factory=set)
+    __slots__ = ("frontier", "scanned_to", "highest_seen", "resolved")
+
+    def __init__(self) -> None:
+        self.frontier = 0
+        self.scanned_to = 0
+        self.highest_seen = -1
+        self.resolved: set = set()
 
     def resolve(self, seq: int) -> bool:
         """Mark a seq accounted for; False if it already was."""
@@ -151,6 +166,9 @@ class ConsoleChannel:
         obs = obs if obs is not None else get_obs()
         self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
+        # Pre-resolved telemetry handles: hot paths pay one None test
+        # when telemetry is disabled (enablement is fixed at construction).
+        self._m_nacks = self._m_nack_bytes = self._m_latency = None
         if self._metrics.enabled:
             m = self._metrics
             self._m_nacks = m.counter("transport.channel.nacks_sent")
@@ -237,7 +255,7 @@ class ConsoleChannel:
         )
         self.stats.nacks_sent += 1
         self.stats.nack_bytes += nbytes
-        if self._metrics.enabled:
+        if self._m_nacks is not None:
             self._m_nacks.inc()
             self._m_nack_bytes.inc(nbytes)
 
@@ -250,7 +268,7 @@ class ConsoleChannel:
                 self.stats.recovery_latency_max, latency
             )
             self.stats.recoveries_timed += 1
-            if self._metrics.enabled:
+            if self._m_latency is not None:
                 self._m_latency.observe(latency)
         return self._tracker.resolve(seq)
 

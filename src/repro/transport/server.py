@@ -134,6 +134,10 @@ class ServerChannel:
         obs = obs if obs is not None else get_obs()
         self._trace = obs.tracer if obs is not None else None
         self._metrics = registry if registry is not None else get_registry()
+        # Pre-resolved telemetry handles: hot paths pay one None test
+        # when telemetry is disabled (enablement is fixed at construction).
+        self._m_recoveries = None
+        self._m_refreshes = self._m_syncs = self._m_recovery_bytes = None
         if self._metrics.enabled:
             m = self._metrics
             self._m_recoveries = {
@@ -216,7 +220,7 @@ class ServerChannel:
             self.stats.recovery_bytes += nbytes
             if isinstance(command, cmd.DisplayCommand):
                 self.stats.recovery_commands += 1
-            if self._metrics.enabled:
+            if self._m_recovery_bytes is not None:
                 self._m_recovery_bytes.inc(nbytes)
         self._ensure_timer()
         return nbytes
@@ -274,7 +278,7 @@ class ServerChannel:
         else:
             outcome = "refresh"
             self.refresh(covering=seq)
-        if self._metrics.enabled:
+        if self._m_recoveries is not None:
             self._m_recoveries[outcome].inc()
         # Confirm so the console stops asking: the damaged pixels now
         # travel under fresh sequence numbers (or were never pixels).
@@ -307,7 +311,7 @@ class ServerChannel:
         """
         self.stats.refreshes += 1
         self._refresh_covering_seq = self._last_seq
-        if self._metrics.enabled:
+        if self._m_refreshes is not None:
             self._m_refreshes.inc()
         for command in self.recovery_encoder.encode_damage(
             self.framebuffer, [self.framebuffer.bounds]
@@ -332,7 +336,7 @@ class ServerChannel:
         FIFO delivery means everything below it has gone out before)."""
         seq = self.codec.next_seq()
         self.stats.syncs_sent += 1
-        if self._metrics.enabled:
+        if self._m_syncs is not None:
             self._m_syncs.inc()
         self._transmit(
             cmd.StatusMessage(kind=StatusKind.SYNC, value=seq),

@@ -31,6 +31,21 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             Simulator().schedule(-1, lambda: None)
 
+    def test_epsilon_negative_delay_clamped_to_now(self):
+        # Float arithmetic like (deadline - now) can come out a hair
+        # below zero; that is round-off, not a scheduling bug, and must
+        # not kill the run.
+        sim = Simulator()
+        sim.schedule(0.1 + 0.2, lambda: None)  # 0.30000000000000004
+        sim.run()
+        fired = []
+        sim.schedule(-1e-12, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [sim.now]
+        # Just past the epsilon is still an error.
+        with pytest.raises(SimulationError):
+            sim.schedule(-1e-6, lambda: None)
+
     def test_schedule_in_past_rejected(self):
         sim = Simulator()
         sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
