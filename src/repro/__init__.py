@@ -79,7 +79,15 @@ from repro.core import (
 )
 from repro.console import Console, MicroOpModel
 from repro.server import SlimDriver, Scheduler, ServerHost
-from repro.netsim import Simulator, Network, Endpoint, Packet
+from repro.netsim import (
+    Endpoint,
+    LocalBackend,
+    Network,
+    Packet,
+    ShardedBackend,
+    SimulationBackend,
+    Simulator,
+)
 from repro.transport import DisplayChannel, ConsoleChannel, ServerChannel
 from repro.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.workloads import BENCHMARK_APPS, UserSession, run_user_study
@@ -124,6 +132,9 @@ __all__ = [
     "SlimDriver",
     "Scheduler",
     "ServerHost",
+    "LocalBackend",
+    "ShardedBackend",
+    "SimulationBackend",
     "Simulator",
     "Network",
     "Endpoint",

@@ -14,9 +14,7 @@ from repro.experiments.runner import (
     ExperimentConfig,
     ExperimentResult,
     ExperimentSpec,
-    REGISTRY,
     experiment,
-    register,
     run_all,
     render_table,
 )
@@ -26,9 +24,7 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentSpec",
-    "REGISTRY",
     "experiment",
-    "register",
     "run_all",
     "render_table",
 ]

@@ -43,6 +43,7 @@ from repro.experiments import (  # noqa: F401
     fig10,
     fig11,
     fig12,
+    fleet_scale,
     lossy_fabric,
     multimedia,
     scalability,

@@ -36,7 +36,7 @@ from repro.experiments.runner import (
 from repro.experiments import userstudy
 from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern
 from repro.loadgen.yardstick import NetworkYardstick
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import LocalBackend
 from repro.netsim.transport import Endpoint, Network
 from repro.units import ETHERNET_100, MBPS
 from repro.workloads.apps import BENCHMARK_APPS, AppProfile
@@ -79,7 +79,7 @@ def yardstick_rtt(
     scale: float = 1.0,
 ) -> Tuple[float, float]:
     """(mean RTT seconds, loss rate) with ``n_users`` of background load."""
-    sim = Simulator()
+    sim = LocalBackend()
     network = Network(sim, default_rate_bps=rate_bps)
     yardstick = NetworkYardstick(
         sim, network, console_addr="console", server_addr="server", warmup=5.0

@@ -1,0 +1,463 @@
+"""Fleet-scale provisioning: a campus of workgroups over one diurnal day.
+
+The paper answers the workgroup question — how many SLIM consoles one
+server sustains (Sections 6.1-6.3).  This experiment asks the campus
+question from Gray's *Locally Served Network Computers*: given tens of
+thousands of desktops spread across workgroup subtrees, what does the
+server tier have to look like at the diurnal peak?
+
+The model composes two existing pieces:
+
+* population blends from :mod:`repro.workloads.mixes` (office, design,
+  lab workgroups, scaled to the target desktop count), and
+* the diurnal presence/activity machinery of
+  :mod:`repro.monitor.casestudy` (AR(1) presence tracking a daily
+  intensity curve, binomially-thinned active users, lognormal burst
+  noise that partially cancels across users).
+
+Each workgroup samples its own demand on its own RNG stream (seeded by
+``(seed, workgroup_id)`` — never by shard layout) and reports per-window
+maxima to the coordinator over the aggregation fabric, whose one-sample
+reporting delay is exactly the sharded backend's conservative lookahead.
+Aggregation is keyed by ``(window, workgroup)``, so the fleet curve is
+insensitive to message arrival order — which is what makes the output
+byte-identical across :class:`~repro.netsim.backend.LocalBackend`,
+``ShardedBackend(1)``, and ``ShardedBackend(4)`` at a fixed seed (the
+determinism seam the equivalence test pins down).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    experiment,
+)
+from repro.monitor.casestudy import ENGINEERING_GROUP, UNIVERSITY_LAB, SiteModel
+from repro.netsim.backend import LocalBackend
+from repro.netsim.sharded import (
+    LocalBus,
+    ShardCollection,
+    ShardContext,
+    ShardedBackend,
+)
+from repro.server.host import E4500
+from repro.telemetry.metrics import MetricsRegistry, get_registry, set_registry
+from repro.units import MBPS
+from repro.workloads.mixes import DESIGN_MIX, LAB_MIX, OFFICE_MIX, WorkgroupMix
+
+#: Boundary port carrying workgroup -> coordinator demand reports.
+REPORT_PORT = "fleet-report"
+
+#: Planning headroom, matching :meth:`WorkgroupMix.estimated_cpus_needed`.
+PROVISION_HEADROOM = 0.5
+
+#: Workgroup archetypes cycle through the campus...
+_MIX_CYCLE: Tuple[WorkgroupMix, ...] = (OFFICE_MIX, DESIGN_MIX, LAB_MIX)
+#: ...and so do the diurnal shapes (lab-like vs office-like days).
+_SITE_CYCLE: Tuple[SiteModel, ...] = (ENGINEERING_GROUP, UNIVERSITY_LAB)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet simulation, fully pinned by plain picklable data.
+
+    Attributes:
+        n_workgroups: Workgroup (= switch subtree) count.
+        scale: Population multiplier applied to each archetype mix.
+        seed: Root RNG seed; workgroup ``w`` streams from ``(seed, w)``.
+        duration: Simulated seconds (a diurnal day is 86400).
+        sample_interval: Demand sampling cadence, seconds.  This is also
+            the aggregation fabric's reporting delay and therefore the
+            sharded backend's conservative lookahead.
+        report_window: Per-window maxima cadence (the paper's five-minute
+            reporting idiom).
+    """
+
+    n_workgroups: int = 160
+    scale: float = 1.0
+    seed: int = 2026
+    duration: float = 24 * 3600.0
+    sample_interval: float = 60.0
+    report_window: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.n_workgroups < 1:
+            raise SimulationError("fleet needs at least one workgroup")
+        if self.sample_interval <= 0 or self.report_window < self.sample_interval:
+            raise SimulationError(
+                "need 0 < sample_interval <= report_window"
+            )
+
+    @property
+    def lookahead(self) -> float:
+        """Inter-shard coupling delay: one aggregation-fabric report hop."""
+        return self.sample_interval
+
+    @property
+    def n_windows(self) -> int:
+        return int(math.ceil(self.duration / self.report_window - 1e-9))
+
+    def workgroup_mix(self, workgroup_id: int) -> WorkgroupMix:
+        base = _MIX_CYCLE[workgroup_id % len(_MIX_CYCLE)]
+        if self.scale == 1.0:
+            return base
+        return base.scaled(self.scale)
+
+    def workgroup_site(self, workgroup_id: int) -> SiteModel:
+        return _SITE_CYCLE[workgroup_id % len(_SITE_CYCLE)]
+
+    def total_desktops(self) -> int:
+        return sum(
+            self.workgroup_mix(w).total_users for w in range(self.n_workgroups)
+        )
+
+
+def fleet_spec(
+    n_desktops: int = 10_240,
+    n_workgroups: int = 160,
+    seed: int = 2026,
+    duration: float = 24 * 3600.0,
+    sample_interval: float = 60.0,
+    report_window: float = 300.0,
+) -> FleetSpec:
+    """Size a spec to approximately ``n_desktops`` total terminals."""
+    base_total = sum(
+        _MIX_CYCLE[w % len(_MIX_CYCLE)].total_users for w in range(n_workgroups)
+    )
+    return FleetSpec(
+        n_workgroups=n_workgroups,
+        scale=max(n_desktops / base_total, 1e-3),
+        seed=seed,
+        duration=duration,
+        sample_interval=sample_interval,
+        report_window=report_window,
+    )
+
+
+class _Workgroup:
+    """One switch subtree's demand process (lives inside a shard).
+
+    Mirrors :func:`repro.monitor.casestudy.simulate_day`: an AR(1)
+    presence tracker follows the site's daily curve, a binomial thinning
+    picks the actively-computing subset, and lognormal burst noise with
+    relative sigma ``sigma / sqrt(n)`` models partially-cancelling
+    per-user bursts.  Every ``report_window`` the window maxima go to
+    the coordinator with one fabric hop (= lookahead) of delay.
+    """
+
+    #: AR(1) tracking coefficient per sample (casestudy uses 0.02 at a
+    #: 10 s cadence; this is the equivalent pull at 60 s).
+    TRACK = 0.11
+
+    def __init__(self, ctx: ShardContext, spec: FleetSpec, workgroup_id: int):
+        self.ctx = ctx
+        self.spec = spec
+        self.workgroup_id = workgroup_id
+        mix = spec.workgroup_mix(workgroup_id)
+        site = spec.workgroup_site(workgroup_id)
+        self.mix_name = _MIX_CYCLE[workgroup_id % len(_MIX_CYCLE)].name
+        self.n_desktops = mix.total_users
+        self.cpu_per_active = mix.mean_cpu_demand() / mix.total_users
+        self.net_per_active = site.net_bps_per_active
+        self.presence = site.presence
+        self.activity = site.activity
+        self.sigma = site.burstiness_sigma
+        # Seeded by identity, never by shard layout: the stream is the
+        # same whether this workgroup runs sharded or on the local bus.
+        self.rng = np.random.default_rng([spec.seed, workgroup_id])
+        self.current_present = 0.0
+        self.samples = 0
+        self._window: Optional[int] = None
+        self._reset_maxima()
+        ctx.sim.schedule_at(0.0, self._sample)
+
+    def _reset_maxima(self) -> None:
+        self.max_present = 0.0
+        self.max_active = 0
+        self.max_cpu = 0.0
+        self.max_net_mbps = 0.0
+
+    def _flush(self) -> None:
+        if self._window is None:
+            return
+        self.ctx.send(
+            REPORT_PORT,
+            {
+                "window": self._window,
+                "workgroup": self.workgroup_id,
+                "mix": self.mix_name,
+                "desktops": self.n_desktops,
+                "present": round(self.max_present, 6),
+                "active": self.max_active,
+                "cpu": round(self.max_cpu, 6),
+                "net_mbps": round(self.max_net_mbps, 6),
+            },
+            delay=self.ctx.lookahead,
+        )
+        self._reset_maxima()
+
+    def _sample(self) -> None:
+        now = self.ctx.sim.now
+        window = int(now / self.spec.report_window + 1e-9)
+        if self._window is not None and window != self._window:
+            self._flush()
+        self._window = window
+
+        hour = (now / 3600.0) % 24.0
+        target = self.presence(hour) * self.n_desktops
+        self.current_present += self.TRACK * (
+            target - self.current_present
+        ) + float(self.rng.normal(0, 0.25))
+        self.current_present = float(
+            np.clip(self.current_present, 0.0, self.n_desktops)
+        )
+        active = int(
+            self.rng.binomial(
+                int(round(self.current_present)),
+                min(1.0, self.activity(hour)),
+            )
+        )
+        cpu = net_mbps = 0.0
+        if active > 0:
+            sigma = self.sigma / math.sqrt(active)
+            burst = max(0.2, float(self.rng.lognormal(0.0, sigma)))
+            cpu = active * self.cpu_per_active * burst
+            net_burst = max(0.2, float(self.rng.lognormal(0.0, sigma * 1.5)))
+            net_mbps = active * self.net_per_active * net_burst / MBPS
+
+        self.max_present = max(self.max_present, self.current_present)
+        self.max_active = max(self.max_active, active)
+        self.max_cpu = max(self.max_cpu, cpu)
+        self.max_net_mbps = max(self.max_net_mbps, net_mbps)
+        self.samples += 1
+
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("fleet.samples", mix=self.mix_name).inc()
+            registry.histogram("fleet.active_users").observe(active)
+
+        next_time = now + self.spec.sample_interval
+        if next_time < self.spec.duration - 1e-9:
+            self.ctx.sim.schedule_at(next_time, self._sample)
+        else:
+            self._flush()
+
+
+class FleetShardProgram:
+    """This shard's slice of the campus: workgroups ``w`` with
+    ``w % n_shards == shard_index``."""
+
+    def __init__(self, ctx: ShardContext, spec: FleetSpec):
+        self.workgroups = [
+            _Workgroup(ctx, spec, workgroup_id)
+            for workgroup_id in range(spec.n_workgroups)
+            if workgroup_id % ctx.n_shards == ctx.shard_index
+        ]
+
+    def collect(self) -> Dict[str, Any]:
+        return {
+            "workgroups": len(self.workgroups),
+            "desktops": sum(w.n_desktops for w in self.workgroups),
+            "samples": sum(w.samples for w in self.workgroups),
+        }
+
+
+def build_fleet_shard(ctx: ShardContext, spec_fields: Dict[str, Any]):
+    """``ShardedBackend`` build callable (module-level, picklable)."""
+    # Each shard process collects its own telemetry; the backend merges
+    # the per-shard snapshots at the collect() barrier.
+    set_registry(MetricsRegistry())
+    return FleetShardProgram(ctx, FleetSpec(**spec_fields))
+
+
+class FleetAggregator:
+    """Coordinator-side sink: order-insensitive per-window cells.
+
+    Reports land keyed by ``(window, workgroup)``; every derived figure
+    iterates the cells in sorted key order, so the output is a pure
+    function of cell *contents* — message arrival order (which differs
+    between backends and shard counts) cannot leak into the results.
+    """
+
+    def __init__(self) -> None:
+        self.cells: Dict[Tuple[int, int], Dict[str, Any]] = {}
+
+    def on_report(self, payload: Dict[str, Any], _arrival: float) -> None:
+        self.cells[(payload["window"], payload["workgroup"])] = payload
+
+    # -- derived fleet curve ---------------------------------------------------
+    def window_totals(self) -> List[Dict[str, float]]:
+        totals: Dict[int, Dict[str, float]] = {}
+        for (window, _workgroup), cell in sorted(self.cells.items()):
+            row = totals.setdefault(
+                window,
+                {"window": window, "present": 0.0, "active": 0,
+                 "cpu": 0.0, "net_mbps": 0.0},
+            )
+            row["present"] += cell["present"]
+            row["active"] += cell["active"]
+            row["cpu"] += cell["cpu"]
+            row["net_mbps"] += cell["net_mbps"]
+        return [totals[window] for window in sorted(totals)]
+
+    def mix_summary(self) -> List[Dict[str, Any]]:
+        by_mix: Dict[str, Dict[str, Any]] = {}
+        per_mix_windows: Dict[Tuple[str, int], Dict[str, float]] = {}
+        workgroups: Dict[str, set] = {}
+        for (window, workgroup), cell in sorted(self.cells.items()):
+            mix = cell["mix"]
+            workgroups.setdefault(mix, set()).add(workgroup)
+            row = per_mix_windows.setdefault(
+                (mix, window), {"active": 0, "cpu": 0.0, "net_mbps": 0.0}
+            )
+            row["active"] += cell["active"]
+            row["cpu"] += cell["cpu"]
+            row["net_mbps"] += cell["net_mbps"]
+            by_mix.setdefault(mix, {"desktops": {}})["desktops"][workgroup] = (
+                cell["desktops"]
+            )
+        summaries = []
+        for mix in sorted(by_mix):
+            windows = [
+                row for (m, _w), row in sorted(per_mix_windows.items())
+                if m == mix
+            ]
+            summaries.append(
+                {
+                    "mix": mix,
+                    "workgroups": len(workgroups[mix]),
+                    "desktops": sum(by_mix[mix]["desktops"].values()),
+                    "peak active": max(r["active"] for r in windows),
+                    "peak cpu (ref)": round(
+                        max(r["cpu"] for r in windows), 2
+                    ),
+                    "peak Mbps": round(
+                        max(r["net_mbps"] for r in windows), 2
+                    ),
+                }
+            )
+        return summaries
+
+
+def provisioning_rows(
+    aggregator: FleetAggregator, spec: FleetSpec
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """The experiment's table: per-mix peaks plus the fleet answer."""
+    totals = aggregator.window_totals()
+    if not totals:
+        raise SimulationError("fleet produced no demand reports")
+    peak_cpu = max(row["cpu"] for row in totals)
+    peak_row = max(totals, key=lambda row: (row["active"], -row["window"]))
+    peak_net = max(row["net_mbps"] for row in totals)
+    # Mirror WorkgroupMix.estimated_cpus_needed: each reference CPU may
+    # run 1 + headroom oversubscribed before interactivity suffers.
+    cpus_needed = max(
+        1, int(math.ceil(peak_cpu / (1.0 + PROVISION_HEADROOM)))
+    )
+    capacity_per_server = E4500.num_cpus * E4500.speed_factor
+    servers = max(1, int(math.ceil(cpus_needed / E4500.num_cpus)))
+
+    rows = list(aggregator.mix_summary())
+    rows.append(
+        {
+            "mix": "fleet",
+            "workgroups": spec.n_workgroups,
+            "desktops": spec.total_desktops(),
+            "peak active": peak_row["active"],
+            "peak cpu (ref)": round(peak_cpu, 2),
+            "peak Mbps": round(peak_net, 2),
+            "peak hour": round(
+                (peak_row["window"] + 1) * spec.report_window / 3600.0, 2
+            ),
+            "CPUs needed": cpus_needed,
+            "servers (E4500)": servers,
+        }
+    )
+    notes = [
+        f"{spec.n_workgroups} workgroups, {spec.total_desktops()} desktops, "
+        f"{len(totals)} windows of {spec.report_window:.0f}s "
+        f"({spec.sample_interval:.0f}s samples)",
+        "provisioning assumes 1.5x interactive oversubscription per "
+        f"reference CPU (headroom {PROVISION_HEADROOM}); one E4500 = "
+        f"{capacity_per_server:.1f} reference CPUs",
+    ]
+    return rows, notes
+
+
+# ---------------------------------------------------------------------------
+# Run on either backend
+# ---------------------------------------------------------------------------
+
+
+def run_fleet_local(spec: FleetSpec) -> FleetAggregator:
+    """The whole campus on one :class:`LocalBackend` via :class:`LocalBus`."""
+    sim = LocalBackend()
+    bus = LocalBus(sim, lookahead=spec.lookahead)
+    aggregator = FleetAggregator()
+    bus.on_receive(REPORT_PORT, aggregator.on_report)
+    FleetShardProgram(bus, spec)
+    sim.run_until(spec.duration + 2 * spec.lookahead)
+    return aggregator
+
+
+def run_fleet_sharded(
+    spec: FleetSpec, n_shards: int
+) -> Tuple[FleetAggregator, ShardCollection]:
+    """The campus across ``n_shards`` worker processes."""
+    aggregator = FleetAggregator()
+    with ShardedBackend(
+        n_shards,
+        build=build_fleet_shard,
+        build_args=(asdict(spec),),
+        lookahead=spec.lookahead,
+    ) as backend:
+        backend.on_receive(REPORT_PORT, aggregator.on_report)
+        backend.run_until(spec.duration + 2 * spec.lookahead)
+        collection = backend.collect()
+    return aggregator, collection
+
+
+@experiment(
+    "fleet_scale",
+    title="Fleet-scale provisioning across sharded workgroup subtrees",
+    section="6.4",
+)
+def run(config: ExperimentConfig) -> ExperimentResult:
+    n_desktops = config.get("n_users", 10_240)
+    spec = fleet_spec(
+        n_desktops=n_desktops,
+        seed=config.get("seed", 2026),
+        duration=config.get("duration", 24 * 3600.0),
+    )
+    n_shards = int(config.get("shards", 4))
+    if n_shards > 1:
+        aggregator, collection = run_fleet_sharded(spec, n_shards)
+        merged = {
+            entry["name"]: entry for entry in collection.telemetry
+        }
+        samples = merged.get("fleet.active_users", {})
+        telemetry_note = (
+            f"{n_shards} shard processes, lookahead {spec.lookahead:.0f}s; "
+            f"merged telemetry: "
+            f"{int(samples.get('count', 0))} demand samples, "
+            f"mean {samples.get('mean', 0.0):.1f} active users/workgroup"
+        )
+    else:
+        aggregator = run_fleet_local(spec)
+        telemetry_note = "single-process run (LocalBackend via LocalBus)"
+    rows, notes = provisioning_rows(aggregator, spec)
+    notes.append(telemetry_note)
+    return ExperimentResult(
+        experiment_id="fleet_scale",
+        title="Fleet-scale provisioning across sharded workgroup subtrees",
+        rows=rows,
+        notes=notes,
+    )

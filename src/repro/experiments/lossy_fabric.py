@@ -29,7 +29,7 @@ from repro.experiments.runner import (
 )
 from repro.framebuffer import FrameBuffer
 from repro.loadgen.yardstick import NetworkYardstick
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import LocalBackend
 from repro.netsim.transport import Endpoint, Network
 from repro.telemetry.metrics import MetricsRegistry
 from repro.transport import DisplayChannel
@@ -76,7 +76,7 @@ def yardstick_on_lossy_fabric(
     seed: int = DEFAULT_SEED,
 ) -> Tuple[float, float]:
     """(mean RTT seconds, observed loss rate) of the fig11 probe."""
-    sim = Simulator()
+    sim = LocalBackend()
     network = Network(sim, default_rate_bps=ETHERNET_100)
     yardstick = NetworkYardstick(
         sim, network, console_addr="console", server_addr="server"

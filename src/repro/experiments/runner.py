@@ -19,18 +19,15 @@ receive a typed :class:`ExperimentConfig` carrying the common knobs
 
 The decorated ``run`` stays directly callable — ``run()``,
 ``run(config)``, and keyword overrides like ``run(seed=5)`` all work; the
-overrides are folded into the config.  The pre-decorator API
-(:func:`register` plus the ``REGISTRY`` dict of zero-argument callables)
-is kept as a deprecated shim.
+overrides are folded into the config.
 """
 
 from __future__ import annotations
 
 import functools
 import warnings
-from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.telemetry.metrics import MetricsRegistry, get_registry
@@ -191,59 +188,6 @@ def experiment(
         return wrapper
 
     return decorate
-
-
-class _RegistryView(Mapping):
-    """Deprecated dict-shaped view of :data:`EXPERIMENTS`.
-
-    Pre-decorator code looked experiments up as ``REGISTRY[id]()``; each
-    value here is the experiment's wrapper, which still runs with no
-    arguments, so that idiom keeps working.
-    """
-
-    def __getitem__(self, key: str) -> Callable[..., ExperimentResult]:
-        return EXPERIMENTS[key].runner
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(EXPERIMENTS)
-
-    def __len__(self) -> int:
-        return len(EXPERIMENTS)
-
-
-REGISTRY = _RegistryView()
-
-
-def register(
-    experiment_id: str, runner: Callable[[], ExperimentResult]
-) -> None:
-    """Deprecated: register a zero-argument runner.
-
-    Use the :func:`experiment` decorator instead; it provides the typed
-    config and keyword-override handling.
-    """
-    warnings.warn(
-        "register() is deprecated; use the @experiment decorator",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-
-    def wrapper(
-        config: Optional[ExperimentConfig] = None, **overrides: object
-    ) -> ExperimentResult:
-        # Legacy runners take no arguments; config knobs cannot reach
-        # them, so overrides are accepted (for API uniformity) but
-        # ignored.
-        return runner()
-
-    _register_spec(
-        ExperimentSpec(
-            experiment_id=experiment_id,
-            title=experiment_id,
-            section=None,
-            runner=wrapper,
-        )
-    )
 
 
 def run_all(

@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Network
 from repro.workloads.session import ResourceProfile
@@ -63,7 +63,7 @@ class NetworkLoadGenerator:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulationBackend,
         network: Network,
         src: str,
         dst: str,

@@ -18,7 +18,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Network
 
@@ -50,7 +50,7 @@ class NetworkYardstick:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulationBackend,
         network: Network,
         console_addr: str,
         server_addr: str,

@@ -4,15 +4,35 @@ Models the paper's interconnection fabric: dedicated, switched, full-duplex
 100 Mbps Ethernet (Section 2.1), as well as the constrained links used for
 the scalability study (Section 5.4, Figure 6) and the shared-uplink
 contention experiment (Section 6.2, Figure 11).
+
+All components talk to the engine through the
+:class:`~repro.netsim.backend.SimulationBackend` protocol; the default
+implementation is the single-process :class:`LocalBackend`
+(= :class:`Simulator`), and :class:`~repro.netsim.sharded.ShardedBackend`
+scales the same interface across worker processes for fleet-sized runs.
 """
 
+from repro.netsim.backend import LocalBackend, SimulationBackend
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
 from repro.netsim.link import Link, LinkStats
+from repro.netsim.sharded import (
+    COORDINATOR,
+    LocalBus,
+    ShardContext,
+    ShardedBackend,
+    merge_telemetry,
+)
 from repro.netsim.switch import Switch
 from repro.netsim.transport import Endpoint, Network, ReplayBuffer
 
 __all__ = [
+    "COORDINATOR",
+    "LocalBackend",
+    "LocalBus",
+    "ShardContext",
+    "ShardedBackend",
+    "SimulationBackend",
     "Simulator",
     "Packet",
     "Link",
@@ -21,4 +41,5 @@ __all__ = [
     "Endpoint",
     "Network",
     "ReplayBuffer",
+    "merge_telemetry",
 ]

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.wire import Datagram
 from repro.errors import SimulationError
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.packet import Packet
 from repro.obs.capture import KIND_DROP, KIND_FRAME, KIND_LOSS
 from repro.obs.context import ObsContext, get_obs
@@ -78,7 +78,7 @@ class Link:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulationBackend,
         rate_bps: float,
         propagation_delay: float,
         deliver: Callable[[Packet], None],

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.link import QUEUE_DEPTH_BUCKETS, Link
 from repro.netsim.packet import Packet
 from repro.telemetry.metrics import MetricsRegistry, get_registry
@@ -31,7 +31,7 @@ class Switch:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulationBackend,
         forwarding_delay: float = 5e-6,
         name: str = "switch",
         registry: Optional[MetricsRegistry] = None,

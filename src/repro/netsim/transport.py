@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.switch import Switch
@@ -176,7 +176,7 @@ class Network:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulationBackend,
         default_rate_bps: float,
         propagation_delay: float = 5e-6,
         forwarding_delay: float = 5e-6,

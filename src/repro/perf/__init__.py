@@ -12,8 +12,7 @@ comparable perf datapoint behind:
   trajectory format;
 * :mod:`repro.perf.progress` — the live progress/health line long
   simulator runs print while working;
-* :mod:`repro.perf.scale` — the shared full-scale/reduced-scale knobs
-  (also re-exported by ``benchmarks/bench_scale.py``).
+* :mod:`repro.perf.scale` — the shared full-scale/reduced-scale knobs.
 
 Workflow::
 

@@ -24,7 +24,8 @@ import time
 from contextlib import contextmanager
 from typing import IO, List, Optional
 
-from repro.netsim.engine import Simulator, set_default_monitor
+from repro.netsim.backend import SimulationBackend
+from repro.netsim.engine import set_default_monitor
 from repro.telemetry.metrics import get_registry
 
 __all__ = ["ProgressMonitor", "live_progress"]
@@ -88,13 +89,13 @@ class ProgressMonitor:
         self._dirty = False
 
     # -- engine callback ----------------------------------------------------
-    def __call__(self, sim: Simulator) -> None:
+    def __call__(self, sim: SimulationBackend) -> None:
         now = time.perf_counter()
         if now - self._last_paint < self.min_interval:
             return
         self.paint(sim, now)
 
-    def paint(self, sim: Simulator, now: Optional[float] = None) -> None:
+    def paint(self, sim: SimulationBackend, now: Optional[float] = None) -> None:
         """Repaint unconditionally (the rate limit lives in __call__)."""
         now = time.perf_counter() if now is None else now
         window = now - self._last_wall
@@ -151,7 +152,7 @@ def live_progress(
     """Attach a progress monitor to every simulator built in the block."""
     monitors: List[ProgressMonitor] = []
 
-    def factory(_sim: Simulator) -> ProgressMonitor:
+    def factory(_sim: SimulationBackend) -> ProgressMonitor:
         monitor = ProgressMonitor(
             target_sim_seconds=target_sim_seconds,
             stream=stream,

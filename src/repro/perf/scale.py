@@ -3,9 +3,8 @@
 The tier-2 benchmark suite (``benchmarks/``) and ad-hoc studies default
 to a reduced size so a full pass completes in minutes; set
 ``REPRO_FULL_SCALE=1`` for the paper's 50-user, ten-minute
-configuration.  Moved here from ``benchmarks/bench_scale.py`` (which
-remains as a thin re-export shim) so library code and the perf harness
-can read the same knobs.
+configuration.  Lives in the library so ``benchmarks/``, the perf
+harness, and experiment code all read the same knobs.
 """
 
 import os

@@ -1,6 +1,6 @@
 """The pinned benchmark scenarios (import to register).
 
-Eight scenarios spanning the reproduction's hot paths, ordered roughly
+Nine scenarios spanning the reproduction's hot paths, ordered roughly
 inner-loop to full-system:
 
 ==================  =====================================================
@@ -18,6 +18,8 @@ inner-loop to full-system:
                     plus background load generators on a shared link
 ``e2e_session``     a complete session: driver -> wire -> fabric ->
                     console, verified pixel-exact
+``fleet_scale``     the sharded fleet backend: a small campus across two
+                    worker processes, conservative-lookahead barriers
 ==================  =====================================================
 
 Every scenario is seeded and returns deterministic counts; end-to-end
@@ -47,7 +49,7 @@ from repro.framebuffer.painter import (
 from repro.framebuffer.regions import Rect
 from repro.loadgen.generator import NetworkLoadGenerator, TrafficPattern
 from repro.loadgen.yardstick import NetworkYardstick
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import LocalBackend
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint, Network
 from repro.perf.harness import ScenarioContext, scenario
@@ -111,7 +113,7 @@ def wire_roundtrip(ctx: ScenarioContext) -> Dict[str, float]:
 def netsim_events(ctx: ScenarioContext) -> Dict[str, float]:
     total_events = ctx.scale(full=240_000, quick=50_000)
     chains = 64
-    sim = Simulator()
+    sim = LocalBackend()
     budget = {"left": total_events}
 
     def make_chain(period: float):
@@ -134,7 +136,7 @@ def netsim_events(ctx: ScenarioContext) -> Dict[str, float]:
 def switch_forward(ctx: ScenarioContext) -> Dict[str, float]:
     per_sender = ctx.scale(full=2500, quick=500)
     nodes = 8
-    sim = Simulator()
+    sim = LocalBackend()
     network = Network(sim, default_rate_bps=ETHERNET_100)
     addresses = [f"node{i}" for i in range(nodes)]
     for address in addresses:
@@ -285,7 +287,7 @@ def _synthetic_profile(index: int, rng: np.random.Generator) -> ResourceProfile:
 def yardstick_load(ctx: ScenarioContext) -> Dict[str, float]:
     n_users = ctx.scale(full=24, quick=8)
     sim_seconds = ctx.scale(full=20, quick=8)
-    sim = Simulator()
+    sim = LocalBackend()
     network = Network(sim, default_rate_bps=ETHERNET_100)
     yardstick = NetworkYardstick(
         sim, network, console_addr="console", server_addr="server", warmup=1.0
@@ -329,7 +331,7 @@ def yardstick_load(ctx: ScenarioContext) -> Dict[str, float]:
 def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
     width, height = (320, 240) if ctx.quick else (640, 480)
     repeats = ctx.scale(full=3, quick=2)
-    sim = Simulator()
+    sim = LocalBackend()
     server_fb = FrameBuffer(width, height)
     channel = DisplayChannel(server_fb, sim=sim)
     driver = channel.make_driver(track_baselines=False)
@@ -377,4 +379,27 @@ def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
         "commands": stats.commands,
         "bytes": stats.wire_bytes,
         "pixels_painted": pixels,
+    }
+
+@scenario("fleet_scale", title="Sharded fleet: campus day across 2 worker shards")
+def fleet_scale(ctx: ScenarioContext) -> Dict[str, float]:
+    from repro.experiments.fleet_scale import fleet_spec, run_fleet_sharded
+
+    spec = fleet_spec(
+        n_desktops=ctx.scale(full=2000, quick=500),
+        n_workgroups=ctx.scale(full=32, quick=8),
+        seed=ctx.seed,
+        duration=ctx.scale(full=6, quick=2) * 3600.0,
+    )
+    aggregator, collection = run_fleet_sharded(spec, 2)
+    expected_cells = spec.n_windows * spec.n_workgroups
+    assert len(aggregator.cells) == expected_cells, (
+        "fleet lost demand reports across the shard barrier"
+    )
+    samples = sum(result["samples"] for result in collection.results)
+    return {
+        "samples": samples,
+        "cells": expected_cells,
+        "desktops": spec.total_desktops(),
+        "sim_seconds": spec.duration,
     }

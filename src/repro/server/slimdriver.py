@@ -15,7 +15,6 @@ it at 1.7% of X-server execution time (Section 5.5).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -151,18 +150,6 @@ class SlimDriver:
         else:
             commands = self.encoder.encode_ops(ops, self.framebuffer)
         return self._log_update(time, ops, commands)
-
-    def paint_and_update(self, time: float, ops: List[PaintOp]) -> UpdateRecord:
-        """Deprecated alias for :meth:`update` with ``paint=True``."""
-        warnings.warn(
-            "SlimDriver.paint_and_update is deprecated; "
-            "use update(time, ops) (paint defaults to True)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self.framebuffer is None:
-            raise ValueError("paint_and_update requires a framebuffer")
-        return self.update(time, ops, paint=True)
 
     def _log_update(
         self, time: float, ops: List[PaintOp], commands: List[cmd.DisplayCommand]

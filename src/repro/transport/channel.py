@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.encoder import SlimEncoder
 from repro.console.console import Console
 from repro.framebuffer.framebuffer import FrameBuffer
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import LocalBackend, SimulationBackend
 from repro.netsim.transport import Network
 from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry
@@ -62,7 +62,7 @@ class DisplayChannel:
     def __init__(
         self,
         framebuffer: FrameBuffer,
-        sim: Optional[Simulator] = None,
+        sim: Optional[SimulationBackend] = None,
         network: Optional[Network] = None,
         rate_bps: float = ETHERNET_100,
         loss_rate: float = 0.0,
@@ -81,7 +81,7 @@ class DisplayChannel:
     ) -> None:
         obs = obs if obs is not None else get_obs()
         self.obs = obs
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else LocalBackend()
         self.network = network if network is not None else Network(
             self.sim, default_rate_bps=rate_bps, registry=registry, obs=obs
         )

@@ -30,7 +30,7 @@ from repro.core.commands import StatusKind
 from repro.core.encoder import EncoderConfig, SlimEncoder
 from repro.core.wire import Datagram, WireCodec
 from repro.framebuffer.framebuffer import FrameBuffer
-from repro.netsim.engine import Simulator
+from repro.netsim.backend import SimulationBackend
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Endpoint, Network
 from repro.obs.context import ObsContext, get_obs
@@ -95,7 +95,7 @@ class ServerChannel:
         self,
         framebuffer: FrameBuffer,
         network: Network,
-        sim: Simulator,
+        sim: SimulationBackend,
         address: str = "server",
         console_address: str = "console",
         recovery_encoder: Optional[SlimEncoder] = None,

@@ -1,7 +1,5 @@
 """Tests for the driver's paint-and-encode semantics (overlap hazards)."""
 
-import pytest
-
 from repro.core.decoder import SlimDecoder
 from repro.core.encoder import SlimEncoder
 from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Painter, Rect
@@ -93,20 +91,3 @@ class TestUpdatePaints:
         record = driver.update(0.0, ops)
         assert record.commands_by_opcode["FILL"] == 1
 
-
-class TestDeprecatedAlias:
-    def test_paint_and_update_warns_and_delegates(self):
-        server_fb, console_fb, driver = make_pair()
-        with pytest.warns(DeprecationWarning, match="paint_and_update"):
-            driver.paint_and_update(
-                0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(7, 7, 7))]
-            )
-        assert server_fb.equals(console_fb)
-
-    def test_paint_and_update_requires_framebuffer(self):
-        driver = SlimDriver()  # accounting-only, no framebuffer
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                driver.paint_and_update(
-                    0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 4, 4))]
-                )

@@ -7,9 +7,7 @@ from repro.experiments.runner import (
     EXPERIMENTS,
     ExperimentConfig,
     ExperimentResult,
-    REGISTRY,
     experiment,
-    register,
     render_table,
     run_all,
 )
@@ -51,33 +49,43 @@ class TestRegistry:
             "table4", "table5",
             "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "multimedia", "ablations",
+            "fleet_scale", "multimedia", "ablations",
         }
-        assert expected <= set(REGISTRY)
+        assert expected <= set(EXPERIMENTS)
 
     def test_duplicate_registration_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            register("only-once-test", lambda: ExperimentResult("x", "y"))
-        with pytest.warns(DeprecationWarning):
+        @experiment("only-once-test")
+        def run(config):
+            return ExperimentResult("x", "y")
+
+        try:
             with pytest.raises(ReproError):
-                register("only-once-test", lambda: ExperimentResult("x", "y"))
+                @experiment("only-once-test")
+                def run2(config):
+                    return ExperimentResult("x", "y")
+        finally:
+            EXPERIMENTS.pop("only-once-test", None)
 
     def test_run_all_unknown_id(self):
         with pytest.raises(ReproError):
             run_all(["no-such-experiment"])
 
     def test_run_all_subset(self):
-        with pytest.warns(DeprecationWarning):
-            register("trivial-test", lambda: ExperimentResult("trivial-test", "t"))
-        results = run_all(["trivial-test"])
+        @experiment("trivial-test")
+        def run(config):
+            return ExperimentResult("trivial-test", "t")
+
+        try:
+            results = run_all(["trivial-test"])
+        finally:
+            EXPERIMENTS.pop("trivial-test", None)
         assert results[0].experiment_id == "trivial-test"
 
-    def test_legacy_registry_view_tracks_experiments(self):
+    def test_runner_specs_are_zero_arg_callable(self):
         import repro.experiments.__main__  # noqa: F401
 
-        assert "table4" in REGISTRY
-        assert set(REGISTRY) == set(EXPERIMENTS)
-        result = REGISTRY["table4"]()  # legacy zero-arg call style
+        assert "table4" in EXPERIMENTS
+        result = EXPERIMENTS["table4"].runner()
         assert result.experiment_id == "table4"
 
 

@@ -1,0 +1,230 @@
+"""Unit tests for the sharded backend's plumbing.
+
+The conformance suite (test_backend_conformance.py) covers the
+SimulationBackend surface; this file exercises what is specific to
+sharding — cross-shard boundary messages, the lookahead soundness
+check, telemetry merging, and worker failure propagation.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.backend import LocalBackend
+from repro.netsim.sharded import (
+    COORDINATOR,
+    LocalBus,
+    ShardContext,
+    ShardedBackend,
+    merge_telemetry,
+)
+
+
+# -- shard programs (module-level so fork/pickle both work) -----------------
+
+
+class EchoProgram:
+    """Counts pings; replies to the sender; reports totals on collect."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.received = []
+        ctx.on_receive("ping", self.on_ping)
+        ctx.on_receive("echo", self.on_echo)
+
+    def on_ping(self, payload, arrival):
+        self.received.append((payload, arrival))
+        self.ctx.send("echo", payload, dst_shard=payload["reply_to"])
+
+    def on_echo(self, payload, arrival):
+        self.received.append((payload, arrival))
+
+    def collect(self):
+        return len(self.received)
+
+
+def build_echo(ctx):
+    return EchoProgram(ctx)
+
+
+class RingProgram:
+    """Forwards a token around the shard ring a fixed number of hops."""
+
+    def __init__(self, ctx, hops):
+        self.ctx = ctx
+        self.hops = 0
+        ctx.on_receive("token", self.on_token)
+        if ctx.shard_index == 0:
+            ctx.sim.schedule(0.0, lambda: ctx.send(
+                "token", {"left": hops},
+                dst_shard=1 % ctx.n_shards,
+            ))
+
+    def on_token(self, payload, arrival):
+        self.hops += 1
+        if payload["left"] > 1:
+            self.ctx.send(
+                "token",
+                {"left": payload["left"] - 1},
+                dst_shard=(self.ctx.shard_index + 1) % self.ctx.n_shards,
+            )
+        else:
+            self.ctx.send("done", {"at": arrival})
+
+    def collect(self):
+        return self.hops
+
+
+def build_ring(ctx, hops):
+    return RingProgram(ctx, hops)
+
+
+def build_crash(ctx):
+    ctx.sim.schedule(0.1, lambda: 1 / 0)
+
+
+class TelemetryProgram:
+    def __init__(self, ctx):
+        from repro.telemetry.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)  # returns the *previous* registry
+        registry.counter("shard.builds").inc()
+        registry.gauge("shard.index").set(ctx.shard_index)
+        for value in range(10):
+            registry.histogram("shard.values").observe(value)
+
+
+def build_telemetry(ctx):
+    return TelemetryProgram(ctx)
+
+
+# -- tests -------------------------------------------------------------------
+
+
+class TestBoundaryMessaging:
+    def test_coordinator_to_shard_and_back(self):
+        with ShardedBackend(2, build=build_echo, lookahead=0.01) as backend:
+            got = []
+            backend.on_receive("echo", lambda p, t: got.append((p, t)))
+            backend.send_to_shard(
+                1, "ping", {"reply_to": COORDINATOR}, delay=0.01
+            )
+            backend.run()
+            assert got == [({"reply_to": COORDINATOR}, pytest.approx(0.02))]
+
+    def test_shard_to_shard_ring(self):
+        hops = 7
+        with ShardedBackend(
+            3, build=build_ring, build_args=(hops,), lookahead=0.001
+        ) as backend:
+            done = []
+            backend.on_receive("done", lambda p, t: done.append(p))
+            backend.run()
+            collection = backend.collect()
+        assert done and done[0]["at"] == pytest.approx(hops * 0.001)
+        assert sum(collection.results) == hops
+
+    def test_collect_gathers_per_shard_results(self):
+        with ShardedBackend(2, build=build_echo, lookahead=0.01) as backend:
+            backend.send_to_shard(0, "ping", {"reply_to": 1}, delay=0.01)
+            backend.run()
+            collection = backend.collect()
+        # Shard 0 got the ping, shard 1 got the echo.
+        assert collection.results == [1, 1]
+
+
+class TestLookaheadSoundness:
+    def test_send_below_lookahead_rejected(self):
+        sim = LocalBackend()
+        bus = LocalBus(sim, lookahead=0.01)
+        with pytest.raises(SimulationError):
+            bus.send("x", None, delay=0.001)
+
+    def test_coordinator_send_below_lookahead_rejected(self):
+        with ShardedBackend(1, lookahead=0.01) as backend:
+            with pytest.raises(SimulationError):
+                backend.send_to_shard(0, "x", None, delay=0.001)
+
+    def test_nonpositive_lookahead_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedBackend(1, lookahead=0.0)
+
+    def test_unknown_destination_rejected(self):
+        sim = LocalBackend()
+        bus = LocalBus(sim, lookahead=0.01)
+        with pytest.raises(SimulationError):
+            bus.send("x", None, dst_shard=5)
+
+
+class TestLocalBusParity:
+    def test_local_bus_delivers_with_identical_delay(self):
+        sim = LocalBackend()
+        bus = LocalBus(sim, lookahead=0.25)
+        got = []
+        bus.on_receive("report", lambda p, t: got.append((p, t)))
+        sim.schedule(1.0, lambda: bus.send("report", "hello"))
+        sim.run()
+        assert got == [("hello", 1.25)]
+
+    def test_unhandled_port_raises(self):
+        sim = LocalBackend()
+        bus = LocalBus(sim, lookahead=0.25)
+        bus.send("nobody-listens", None)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestFailureAndLifecycle:
+    def test_worker_exception_propagates_with_traceback(self):
+        with ShardedBackend(2, build=build_crash) as backend:
+            with pytest.raises(SimulationError, match="ZeroDivisionError"):
+                backend.run()
+
+    def test_close_is_idempotent_and_blocks_reuse(self):
+        backend = ShardedBackend(1)
+        backend.schedule(0.1, lambda: None)
+        backend.run()
+        backend.close()
+        backend.close()
+        with pytest.raises(SimulationError):
+            backend.run()
+
+    def test_shard_count_validated(self):
+        with pytest.raises(SimulationError):
+            ShardedBackend(0)
+
+
+class TestTelemetryMerge:
+    def test_counters_sum_gauges_last_write(self):
+        with ShardedBackend(3, build=build_telemetry) as backend:
+            backend.run()
+            collection = backend.collect()
+        merged = {e["name"]: e for e in collection.telemetry}
+        assert merged["shard.builds"]["value"] == 3
+        assert merged["shard.index"]["value"] == 2  # last shard wins
+        histogram = merged["shard.values"]
+        assert histogram["count"] == 30
+        assert histogram["min"] == 0 and histogram["max"] == 9
+        assert histogram["mean"] == pytest.approx(4.5)
+
+    def test_merge_handles_disjoint_instruments(self):
+        a = [{"kind": "counter", "name": "only.a", "labels": {}, "value": 1}]
+        b = [{"kind": "counter", "name": "only.b", "labels": {}, "value": 2}]
+        merged = {e["name"]: e["value"] for e in merge_telemetry([a, b])}
+        assert merged == {"only.a": 1, "only.b": 2}
+
+    def test_merge_empty(self):
+        assert merge_telemetry([]) == []
+
+
+class TestWindowJump:
+    def test_idle_stretch_costs_one_barrier_not_millions(self):
+        # A day-long gap between events must not tick lookahead-sized
+        # windows: the window jumps to the next event directly.
+        with ShardedBackend(2, lookahead=0.001) as backend:
+            fired = []
+            backend.schedule_at(0.0, lambda: fired.append("start"))
+            backend.schedule_at(86_400.0, lambda: fired.append("end"))
+            backend.run()
+            assert fired == ["start", "end"]
+            assert backend.now >= 86_400.0
