@@ -80,7 +80,33 @@ class SlimEncoder:
     ) -> None:
         self.config = config or EncoderConfig()
         self.materialize = materialize
+        #: Quality scale set by the congestion tier policy (see
+        #: :class:`repro.core.bandwidth.TieredAllocator`): 1.0 is full
+        #: fidelity; below that, media and image content is sent as a
+        #: subsampled CSCS coarse pass the console scales up locally.
+        self.quality_scale = 1.0
         self._metrics = registry if registry is not None else get_registry()
+
+    def set_quality(self, scale: float) -> None:
+        """Set the tier quality scale (fraction of full-fidelity bytes).
+
+        The hook the bandwidth tier policy drives: at ``scale`` < 1 the
+        encoder subsamples CSCS sources by ``sqrt(scale)`` per axis —
+        the paper's own degradation mechanism ("reducing the resolution
+        of the media streams and scaling them locally on the SLIM
+        console", Section 7) — and, on the accounting path, sends image
+        content as a coarse progressive pass instead of a full SET.
+        Exact content (FILL/BITMAP/COPY) is never degraded: text stays
+        sharp at every tier.
+        """
+        if not 0 < scale <= 1:
+            raise ProtocolError(f"quality scale must be in (0, 1], got {scale}")
+        self.quality_scale = float(scale)
+
+    def _subsampled_dims(self, w: int, h: int) -> Tuple[int, int]:
+        """Source dimensions after applying the tier quality scale."""
+        axis = self.quality_scale ** 0.5
+        return max(1, round(w * axis)), max(1, round(h * axis))
 
     # ------------------------------------------------------------------
     # Device-driver path: the op itself tells us the structure.
@@ -188,9 +214,21 @@ class SlimEncoder:
                 )
         busy_h = op.rect.h - flat_rows
         if busy_h > 0:
-            out.append(
-                cmd.SetCommand(rect=Rect(op.rect.x, op.rect.y, op.rect.w, busy_h))
-            )
+            busy = Rect(op.rect.x, op.rect.y, op.rect.w, busy_h)
+            if self.quality_scale < 1 and self.config.use_cscs:
+                # Degraded tier: a coarse progressive pass — subsampled
+                # CSCS the console scales up — instead of full pixels.
+                src_w, src_h = self._subsampled_dims(busy.w, busy.h)
+                out.append(
+                    cmd.CscsCommand(
+                        rect=busy,
+                        src_w=src_w,
+                        src_h=src_h,
+                        bits_per_pixel=self.config.cscs_bits_per_pixel,
+                    )
+                )
+            else:
+                out.append(cmd.SetCommand(rect=busy))
         return out
 
     def _encode_copy(
@@ -209,15 +247,25 @@ class SlimEncoder:
         bpp = op.bits_per_pixel or self.config.cscs_bits_per_pixel
         if not self.config.use_cscs:
             return [self._set_for_rect(op.rect, fb)]
+        src_w, src_h = op.rect.w, op.rect.h
+        if self.quality_scale < 1:
+            src_w, src_h = self._subsampled_dims(src_w, src_h)
         payload = None
         if self.materialize:
             assert fb is not None
-            payload = cscs_codec.encode_frame(fb.read(op.rect), bpp)
+            frame = fb.read(op.rect)
+            if (src_w, src_h) != (op.rect.w, op.rect.h):
+                rows = np.linspace(0, frame.shape[0] - 1, src_h)
+                cols = np.linspace(0, frame.shape[1] - 1, src_w)
+                frame = frame[rows.round().astype(int)][
+                    :, cols.round().astype(int)
+                ]
+            payload = cscs_codec.encode_frame(frame, bpp)
         return [
             cmd.CscsCommand(
                 rect=op.rect,
-                src_w=op.rect.w,
-                src_h=op.rect.h,
+                src_w=src_w,
+                src_h=src_h,
                 bits_per_pixel=bpp,
                 payload=payload,
             )

@@ -49,6 +49,7 @@ from repro.experiments import (  # noqa: F401
     scalability,
     table4,
     table5,
+    wan_matrix,
 )
 from repro.experiments.runner import EXPERIMENTS, ExperimentConfig, render_table
 from repro.obs import (

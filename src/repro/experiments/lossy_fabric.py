@@ -30,6 +30,7 @@ from repro.experiments.runner import (
 from repro.framebuffer import FrameBuffer
 from repro.loadgen.yardstick import NetworkYardstick
 from repro.netsim.backend import LocalBackend
+from repro.netsim.profiles import get_profile
 from repro.netsim.transport import Endpoint, Network
 from repro.telemetry.metrics import MetricsRegistry
 from repro.transport import DisplayChannel
@@ -45,6 +46,14 @@ DISPLAY_W, DISPLAY_H = 320, 240
 
 #: Simulated seconds of yardstick probing per loss rate.
 YARDSTICK_SECONDS = 20.0
+
+#: Named WAN/mobile profiles probed alongside the i.i.d. sweep: the
+#: burst-loss regimes whose *pattern* (not just rate) stresses recovery.
+PROFILE_CELLS = ("dsl", "wifi", "cellular")
+
+#: Profile cells probe longer: burst-loss episodes are rare events, and
+#: a 20 s window can sample zero of them at some seeds.
+PROFILE_YARDSTICK_SECONDS = 60.0
 
 
 def run_lossy_session(
@@ -89,6 +98,38 @@ def yardstick_on_lossy_fabric(
         Endpoint("server", on_receive=yardstick.handle_server_packet),
         loss_rate=loss_rate,
         rng=rng,
+    )
+    yardstick.start()
+    sim.run_until(sim_seconds)
+    if not yardstick.rtts:
+        return float("inf"), yardstick.loss_rate()
+    return yardstick.mean_rtt(), yardstick.loss_rate()
+
+
+def yardstick_on_profile(
+    profile_name: str,
+    sim_seconds: float = PROFILE_YARDSTICK_SECONDS,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[float, float]:
+    """(mean RTT seconds, observed loss rate) across a named profile.
+
+    The console sits behind the profile's access link (the WAN/mobile
+    deployment shape); the server stays on the clean switched fabric.
+    """
+    profile = get_profile(profile_name)
+    sim = LocalBackend()
+    network = Network(sim, default_rate_bps=ETHERNET_100)
+    yardstick = NetworkYardstick(
+        sim, network, console_addr="console", server_addr="server"
+    )
+    rng = np.random.default_rng(seed) if profile.randomized else None
+    network.attach(
+        Endpoint("console", on_receive=yardstick.handle_console_packet),
+        profile=profile,
+        rng=rng,
+    )
+    network.attach(
+        Endpoint("server", on_receive=yardstick.handle_server_packet)
     )
     yardstick.start()
     sim.run_until(sim_seconds)
@@ -144,6 +185,19 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 "yardstick loss": f"{probe_loss:.0%}",
             }
         )
+    for profile_name in PROFILE_CELLS:
+        profile = get_profile(profile_name)
+        rtt, probe_loss = yardstick_on_profile(profile_name, seed=seed)
+        rows.append(
+            {
+                "loss rate": profile_name,
+                "mean loss": f"{profile.mean_loss_rate():.1%}",
+                "yardstick RTT ms": "inf"
+                if rtt == float("inf")
+                else round(1000 * rtt, 2),
+                "yardstick loss": f"{probe_loss:.0%}",
+            }
+        )
     return ExperimentResult(
         experiment_id="lossy_fabric",
         title="Display-protocol loss recovery vs fabric loss rate",
@@ -157,5 +211,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "damage-map eviction",
             "'pixel exact' requires the console framebuffer to equal the "
             "server's and the status exchange to have confirmed every seq",
+            "profile rows probe the named WAN/mobile regimes (console "
+            "behind the access link); burst loss (Gilbert-Elliott) hurts "
+            "more than i.i.d. loss at the same mean rate",
         ],
     )

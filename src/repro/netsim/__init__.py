@@ -15,7 +15,8 @@ scales the same interface across worker processes for fleet-sized runs.
 from repro.netsim.backend import LocalBackend, SimulationBackend
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import Packet
-from repro.netsim.link import Link, LinkStats
+from repro.netsim.link import GilbertElliottLoss, Link, LinkStats
+from repro.netsim.profiles import PROFILES, NetworkProfile, get_profile
 from repro.netsim.sharded import (
     COORDINATOR,
     LocalBus,
@@ -28,8 +29,11 @@ from repro.netsim.transport import Endpoint, Network, ReplayBuffer
 
 __all__ = [
     "COORDINATOR",
+    "GilbertElliottLoss",
     "LocalBackend",
     "LocalBus",
+    "NetworkProfile",
+    "PROFILES",
     "ShardContext",
     "ShardedBackend",
     "SimulationBackend",
@@ -41,5 +45,6 @@ __all__ = [
     "Endpoint",
     "Network",
     "ReplayBuffer",
+    "get_profile",
     "merge_telemetry",
 ]

@@ -208,6 +208,10 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        # A stray stop() while idle must not poison the next run: the
+        # flag only means "abort the run in progress", so it is cleared
+        # on entry (the finally-block clear handles the in-run case).
+        self._stopped = False
 
     # -- introspection --------------------------------------------------------------
     @property

@@ -5,6 +5,15 @@ the link rate, queue FIFO while the link is busy, then arrive after the
 propagation delay.  An optional queue limit (switch output buffer) causes
 tail drops; an optional random loss rate models corruption — both feed the
 transport layer's replay-based recovery.
+
+Beyond the paper's benign switched LAN, a link can model WAN/mobile
+adversity: per-packet delay *jitter* (uniform extra propagation delay,
+as seen on wifi contention and cellular schedulers) and *correlated*
+burst loss via a two-state Gilbert–Elliott chain
+(:class:`GilbertElliottLoss`) — losses arrive in runs, which stresses
+recovery very differently from independent Bernoulli drops at the same
+average rate.  Both knobs draw from the link's ``rng`` only when
+enabled, so existing seeded runs are unchanged.
 """
 
 from __future__ import annotations
@@ -27,6 +36,82 @@ from repro.units import transmission_delay
 
 #: Queue-depth histogram buckets (packets waiting behind the wire).
 QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert–Elliott) burst-loss model.
+
+    The chain sits in a *good* or *bad* state; each packet first gives the
+    chain a chance to flip, then draws its loss decision at the current
+    state's loss rate.  Runs of bad-state packets produce the correlated
+    loss bursts typical of wifi interference and cellular handovers —
+    very different recovery behaviour from Bernoulli loss at the same
+    long-run average (:meth:`mean_loss_rate`).
+
+    Instances carry the chain state, so every link needs its own copy
+    (:meth:`fresh`); sharing one across links would couple their bursts.
+
+    Args:
+        p_enter_bad: Per-packet probability of a good->bad transition.
+        p_exit_bad: Per-packet probability of a bad->good transition.
+        loss_good: Loss probability while in the good state.
+        loss_bad: Loss probability while in the bad state.
+    """
+
+    __slots__ = ("p_enter_bad", "p_exit_bad", "loss_good", "loss_bad", "bad")
+
+    def __init__(
+        self,
+        p_enter_bad: float,
+        p_exit_bad: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for label, value in (
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    f"{label} must be a probability, got {value}"
+                )
+        if p_exit_bad == 0 and p_enter_bad > 0:
+            raise SimulationError("a bad state with no exit absorbs the link")
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def fresh(self) -> "GilbertElliottLoss":
+        """A new chain with the same parameters, reset to the good state."""
+        return GilbertElliottLoss(
+            self.p_enter_bad, self.p_exit_bad, self.loss_good, self.loss_bad
+        )
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        """Advance the chain one packet; True if that packet is lost."""
+        if self.bad:
+            if self.p_exit_bad > 0 and float(rng.random()) < self.p_exit_bad:
+                self.bad = False
+        elif self.p_enter_bad > 0 and float(rng.random()) < self.p_enter_bad:
+            self.bad = True
+        rate = self.loss_bad if self.bad else self.loss_good
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return float(rng.random()) < rate
+
+    def mean_loss_rate(self) -> float:
+        """Long-run average loss rate (stationary-weighted state rates)."""
+        total = self.p_enter_bad + self.p_exit_bad
+        if total == 0:
+            return self.loss_good
+        bad_share = self.p_enter_bad / total
+        return bad_share * self.loss_bad + (1 - bad_share) * self.loss_good
 
 
 @dataclass
@@ -64,8 +149,17 @@ class Link:
             the far end.
         queue_limit_bytes: Output buffer size; None means unbounded.
         loss_rate: Probability a packet is lost in flight (0 disables).
-        rng: Random generator for loss decisions; required when
-            ``loss_rate`` > 0 so runs stay deterministic.
+        rng: Random generator for loss/jitter decisions; required when
+            ``loss_rate`` > 0, ``jitter`` > 0, or ``burst_loss`` is set,
+            so runs stay deterministic.
+        jitter: Maximum extra per-packet propagation delay, seconds;
+            drawn uniformly from ``[0, jitter)``.  Jittered packets can
+            arrive reordered (the endpoint layer is reorder-tolerant).
+        burst_loss: A :class:`GilbertElliottLoss` chain replacing the
+            independent ``loss_rate`` draw with correlated burst loss.
+            The instance is owned by this link (chain state is mutable);
+            pass ``model.fresh()`` when configuring several links from
+            one template.
         name: Label used in diagnostics.
         registry: Telemetry sink; defaults to the process-global
             registry (a no-op unless telemetry is enabled).
@@ -85,6 +179,8 @@ class Link:
         queue_limit_bytes: Optional[int] = None,
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        jitter: float = 0.0,
+        burst_loss: Optional[GilbertElliottLoss] = None,
         name: str = "link",
         registry: Optional[MetricsRegistry] = None,
         obs: Optional[ObsContext] = None,
@@ -93,20 +189,31 @@ class Link:
             raise SimulationError(f"link rate must be positive, got {rate_bps}")
         if propagation_delay < 0:
             raise SimulationError("propagation delay cannot be negative")
+        if jitter < 0:
+            raise SimulationError("jitter cannot be negative")
         if loss_rate > 0 and rng is None:
             raise SimulationError("loss_rate > 0 requires an rng for determinism")
+        if jitter > 0 and rng is None:
+            raise SimulationError("jitter > 0 requires an rng for determinism")
+        if burst_loss is not None and rng is None:
+            raise SimulationError("burst_loss requires an rng for determinism")
         self.sim = sim
         self.rate_bps = rate_bps
         self.propagation_delay = propagation_delay
         self.deliver = deliver
         self.queue_limit_bytes = queue_limit_bytes
         self.loss_rate = loss_rate
+        self.jitter = jitter
+        self.burst_loss = burst_loss
         self.rng = rng
         self.name = name
         self.stats = LinkStats()
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
         self._busy = False
+        #: When the in-flight packet started serializing (None when idle);
+        #: lets utilization() prorate the partially transmitted packet.
+        self._tx_started_at: Optional[float] = None
         obs = obs if obs is not None else get_obs()
         self._trace = obs.tracer if obs is not None else None
         #: Wire-capture tap; assign a SlimcapWriter to record this
@@ -175,20 +282,29 @@ class Link:
                 self.sim.now,
             )
         serialization = transmission_delay(packet.nbytes, self.rate_bps)
-        self.stats.busy_time += serialization
+        self._tx_started_at = self.sim.now
         self.sim.schedule(serialization, lambda: self._finish_serialization(packet))
 
     def _finish_serialization(self, packet: Packet) -> None:
+        # Busy time is credited on completion (not at tx start): a
+        # utilization() sample taken mid-serialization must only see the
+        # bits that have actually left the interface.
+        if self._tx_started_at is not None:
+            self.stats.busy_time += self.sim.now - self._tx_started_at
+            self._tx_started_at = None
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.nbytes
         if self._m_packets is not None:
             self._m_packets.inc()
             self._m_bytes.inc(packet.nbytes)
-        lost = (
-            self.loss_rate > 0
-            and self.rng is not None
-            and float(self.rng.random()) < self.loss_rate
-        )
+        if self.burst_loss is not None:
+            lost = self.burst_loss.sample(self.rng)
+        else:
+            lost = (
+                self.loss_rate > 0
+                and self.rng is not None
+                and float(self.rng.random()) < self.loss_rate
+            )
         if self._trace is not None and packet.trace_id is not None:
             self._trace.packet_event(
                 packet.trace_id, packet.packet_id, "tx_end", self.name,
@@ -203,14 +319,14 @@ class Link:
             self.stats.packets_lost += 1
             if self._m_losses is not None:
                 self._m_losses.inc()
-        elif self._trace is not None and packet.trace_id is not None:
-            self.sim.schedule(
-                self.propagation_delay, lambda: self._deliver_traced(packet)
-            )
         else:
-            self.sim.schedule(
-                self.propagation_delay, lambda: self.deliver(packet)
-            )
+            delay = self.propagation_delay
+            if self.jitter > 0:
+                delay += float(self.rng.random()) * self.jitter
+            if self._trace is not None and packet.trace_id is not None:
+                self.sim.schedule(delay, lambda: self._deliver_traced(packet))
+            else:
+                self.sim.schedule(delay, lambda: self.deliver(packet))
         # The wire frees up as soon as the last bit leaves.
         self._transmit_next()
 
@@ -238,8 +354,15 @@ class Link:
         return self._queued_bytes
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
-        """Fraction of time the link has been serializing bits."""
+        """Fraction of time the link has been serializing bits.
+
+        Safe to sample mid-serialization: the in-flight packet counts
+        only for the time it has actually occupied the wire so far.
+        """
         window = elapsed if elapsed is not None else self.sim.now
         if window <= 0:
             return 0.0
-        return min(1.0, self.stats.busy_time / window)
+        busy = self.stats.busy_time
+        if self._tx_started_at is not None:
+            busy += self.sim.now - self._tx_started_at
+        return min(1.0, busy / window)

@@ -1,0 +1,211 @@
+"""Named network profiles: from the paper's LAN to WAN/mobile adversity.
+
+The paper evaluates SLIM on a dedicated, switched 100 Mbps LAN
+(Section 2.1) — the one regime where latency, jitter, and loss are all
+negligible.  Thin-client interactivity off campus is dominated by
+exactly those three (Gunther's *X-Files* WAN study; VirtuMob's
+smartphone-class links), so each :class:`NetworkProfile` here bundles
+the per-direction link parameters of one deployment regime:
+
+``lan``
+    The paper's baseline: symmetric 100 Mbps, microsecond propagation,
+    no loss.  Attaching with this profile is byte-identical to the
+    default ``Network.attach`` path, so experiments can treat it as the
+    control cell.
+``dsl``
+    Asymmetric residential DSL: fast-ish downlink, a 1 Mbps uplink that
+    squeezes reverse-path control traffic (NACKs, input events), and a
+    telco-sized buffer.
+``longhaul``
+    High bandwidth-delay-product transcontinental path: capacity is
+    plentiful but every recovery round trip costs ~180 ms.
+``wifi``
+    802.11-class wireless: moderate rate, small latency, but correlated
+    burst loss (interference fades) modeled by a Gilbert–Elliott chain,
+    plus contention jitter.
+``cellular``
+    Smartphone-class mobile data: low asymmetric rates, high and
+    variable latency, deep (bufferbloat-prone) buffers, and handover
+    loss bursts — the adversity-matrix worst case.
+
+Profiles are applied through ``Network.attach(endpoint, profile=...,
+rng=...)``; the rng is split into independent per-direction streams so
+the two directions' loss/jitter processes never couple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.netsim.link import GilbertElliottLoss
+from repro.units import KIB, MBPS, MICROSECOND, MILLISECOND
+
+#: The switched-LAN propagation delay used by ``Network`` by default.
+LAN_PROPAGATION = 5 * MICROSECOND
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Per-direction link parameters of one deployment regime.
+
+    Directions are named from the endpoint's point of view: ``up`` is
+    endpoint -> switch (console input, NACKs), ``down`` is switch ->
+    endpoint (display traffic).  Loss, jitter, and the burst model apply
+    to both directions — the chain *state* is per-link (each link gets a
+    fresh copy), only the parameters are shared.
+
+    Attributes:
+        name: Registry key (``PROFILES[name]``).
+        description: One-line summary for experiment tables.
+        up_rate_bps: Endpoint -> switch serialization rate.
+        down_rate_bps: Switch -> endpoint serialization rate.
+        propagation_delay: One-way latency, seconds, each direction.
+        jitter: Max extra uniform per-packet delay, seconds.
+        loss_rate: Independent per-packet loss probability (ignored when
+            ``burst`` is set).
+        burst: Gilbert–Elliott burst-loss template, or None.
+        queue_limit_bytes: Downlink buffer size (None = unbounded, like
+            the LAN default; the uplink stays unbounded, matching the
+            plain attach path).
+    """
+
+    name: str
+    description: str
+    up_rate_bps: float
+    down_rate_bps: float
+    propagation_delay: float
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+    burst: Optional[GilbertElliottLoss] = None
+    queue_limit_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.up_rate_bps <= 0 or self.down_rate_bps <= 0:
+            raise SimulationError("profile rates must be positive")
+        if self.propagation_delay < 0 or self.jitter < 0:
+            raise SimulationError("profile delays cannot be negative")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise SimulationError("profile loss_rate must be a probability")
+
+    @property
+    def randomized(self) -> bool:
+        """True when attaching with this profile needs an rng."""
+        return self.loss_rate > 0 or self.jitter > 0 or self.burst is not None
+
+    def mean_loss_rate(self) -> float:
+        """Long-run per-packet loss probability (either loss model)."""
+        if self.burst is not None:
+            return self.burst.mean_loss_rate()
+        return self.loss_rate
+
+    def min_rtt(self, probe_nbytes: int = 64, reply_nbytes: int = 1200) -> float:
+        """Unloaded round-trip floor for a probe/reply pair, seconds."""
+        serialization = (
+            probe_nbytes * 8 / self.up_rate_bps
+            + reply_nbytes * 8 / self.down_rate_bps
+        )
+        return serialization + 2 * self.propagation_delay
+
+    def link_params(self) -> Tuple[Dict[str, object], Dict[str, object]]:
+        """(uplink kwargs, downlink kwargs) for :class:`~repro.netsim.link.Link`.
+
+        Burst chains are freshly instantiated per call so each link owns
+        independent state.
+        """
+        common = {
+            "propagation_delay": self.propagation_delay,
+            "jitter": self.jitter,
+            "loss_rate": self.loss_rate if self.burst is None else 0.0,
+        }
+        up = dict(common, rate_bps=self.up_rate_bps)
+        down = dict(
+            common,
+            rate_bps=self.down_rate_bps,
+            queue_limit_bytes=self.queue_limit_bytes,
+        )
+        if self.burst is not None:
+            up["burst_loss"] = self.burst.fresh()
+            down["burst_loss"] = self.burst.fresh()
+        return up, down
+
+
+#: The paper's dedicated switched LAN (the control cell: identical to a
+#: plain ``Network.attach`` at the default rate).
+LAN = NetworkProfile(
+    name="lan",
+    description="paper baseline: dedicated switched 100 Mbps LAN",
+    up_rate_bps=100 * MBPS,
+    down_rate_bps=100 * MBPS,
+    propagation_delay=LAN_PROPAGATION,
+)
+
+#: Asymmetric residential DSL (ADSL2-class).
+DSL = NetworkProfile(
+    name="dsl",
+    description="asymmetric DSL: 8 Mbps down / 1 Mbps up, 15 ms",
+    up_rate_bps=1 * MBPS,
+    down_rate_bps=8 * MBPS,
+    propagation_delay=15 * MILLISECOND,
+    jitter=2 * MILLISECOND,
+    loss_rate=0.001,
+    queue_limit_bytes=64 * KIB,
+)
+
+#: High bandwidth-delay-product long-haul path (transcontinental).
+LONGHAUL = NetworkProfile(
+    name="longhaul",
+    description="high-BDP long haul: 45 Mbps, 90 ms one way",
+    up_rate_bps=45 * MBPS,
+    down_rate_bps=45 * MBPS,
+    propagation_delay=90 * MILLISECOND,
+    jitter=1 * MILLISECOND,
+    loss_rate=0.0005,
+    queue_limit_bytes=256 * KIB,
+)
+
+#: 802.11-class wireless LAN with interference fades.
+WIFI = NetworkProfile(
+    name="wifi",
+    description="wifi: 25 Mbps, contention jitter, burst loss",
+    up_rate_bps=25 * MBPS,
+    down_rate_bps=25 * MBPS,
+    propagation_delay=3 * MILLISECOND,
+    jitter=4 * MILLISECOND,
+    burst=GilbertElliottLoss(
+        p_enter_bad=0.02, p_exit_bad=0.25, loss_good=0.001, loss_bad=0.35
+    ),
+    queue_limit_bytes=128 * KIB,
+)
+
+#: Smartphone-class (3G) cellular data (the adversity worst case).
+CELLULAR = NetworkProfile(
+    name="cellular",
+    description="cellular: 2 Mbps down / 1 Mbps up, 50 ms, bursty",
+    up_rate_bps=1 * MBPS,
+    down_rate_bps=2 * MBPS,
+    propagation_delay=50 * MILLISECOND,
+    jitter=25 * MILLISECOND,
+    burst=GilbertElliottLoss(
+        p_enter_bad=0.015, p_exit_bad=0.12, loss_good=0.002, loss_bad=0.5
+    ),
+    queue_limit_bytes=192 * KIB,
+)
+
+#: Named profiles, adversity-ordered (benign first).
+PROFILES: Dict[str, NetworkProfile] = {
+    profile.name: profile
+    for profile in (LAN, DSL, LONGHAUL, WIFI, CELLULAR)
+}
+
+
+def get_profile(name: str) -> NetworkProfile:
+    """Look up a named profile; raises with the known names on a typo."""
+    try:
+        return PROFILES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PROFILES))
+        raise SimulationError(
+            f"unknown network profile {name!r} (known: {known})"
+        ) from exc

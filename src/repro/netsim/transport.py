@@ -16,7 +16,7 @@ served back by seq, with no stop-and-wait and no cumulative ACKs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.errors import SimulationError
 from repro.netsim.backend import SimulationBackend
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
+from repro.netsim.profiles import NetworkProfile
 from repro.netsim.switch import Switch
 from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
@@ -165,6 +166,28 @@ class Endpoint:
             self.on_gap(missing)
 
 
+def _split_rng(
+    rng: Optional[np.random.Generator],
+) -> Tuple[Optional[np.random.Generator], Optional[np.random.Generator]]:
+    """Two independent generators derived from one attach-time rng.
+
+    The uplink and downlink must not consume a single stream: reverse-path
+    control traffic (NACKs, FRONTIERs) would then shift the forward
+    path's loss pattern, coupling the two directions' error processes.
+    ``Generator.spawn`` (numpy >= 1.25) derives statistically independent
+    children; older numpys fall back to seeding from the parent.
+    """
+    if rng is None:
+        return None, None
+    try:
+        up, down = rng.spawn(2)
+    except (AttributeError, TypeError):
+        seeds = rng.integers(0, 2**63, size=2)
+        up = np.random.default_rng(int(seeds[0]))
+        down = np.random.default_rng(int(seeds[1]))
+    return up, down
+
+
 class Network:
     """Builds and owns a switched star topology.
 
@@ -200,33 +223,57 @@ class Network:
         queue_limit_bytes: Optional[int] = None,
         loss_rate: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        profile: Optional[NetworkProfile] = None,
     ) -> Endpoint:
-        """Connect an endpoint to the switch with a full-duplex link pair."""
+        """Connect an endpoint to the switch with a full-duplex link pair.
+
+        Pass a :class:`~repro.netsim.profiles.NetworkProfile` to model a
+        WAN/mobile access link (asymmetric rates, latency, jitter, burst
+        loss); a profile replaces the explicit link kwargs.  The ``rng``
+        is split into independent per-direction streams, so loss and
+        jitter decisions on the reverse path (NACKs, FRONTIERs) never
+        perturb the forward path's patterns.
+        """
         if endpoint.address in self._endpoints:
             raise SimulationError(f"address {endpoint.address!r} already attached")
-        rate = rate_bps if rate_bps is not None else self.default_rate_bps
+        if profile is not None:
+            if rate_bps is not None or queue_limit_bytes is not None or loss_rate:
+                raise SimulationError(
+                    "pass either a profile or explicit link kwargs, not both"
+                )
+            if profile.randomized and rng is None:
+                raise SimulationError(
+                    f"profile {profile.name!r} requires an rng for determinism"
+                )
+            up_params, down_params = profile.link_params()
+        else:
+            rate = rate_bps if rate_bps is not None else self.default_rate_bps
+            common = {
+                "propagation_delay": self.propagation_delay,
+                "loss_rate": loss_rate,
+            }
+            up_params = dict(common, rate_bps=rate)
+            down_params = dict(
+                common, rate_bps=rate, queue_limit_bytes=queue_limit_bytes
+            )
+        up_rng, down_rng = _split_rng(rng)
         uplink = Link(
             self.sim,
-            rate,
-            self.propagation_delay,
             deliver=self.switch.ingress,
-            loss_rate=loss_rate,
-            rng=rng,
+            rng=up_rng,
             name=f"{endpoint.address}->switch",
             registry=self._registry,
             obs=self._obs,
+            **up_params,
         )
         downlink = Link(
             self.sim,
-            rate,
-            self.propagation_delay,
             deliver=endpoint.deliver,
-            queue_limit_bytes=queue_limit_bytes,
-            loss_rate=loss_rate,
-            rng=rng,
+            rng=down_rng,
             name=f"switch->{endpoint.address}",
             registry=self._registry,
             obs=self._obs,
+            **down_params,
         )
         if self._obs is not None and self._obs.capture is not None:
             # Tap uplinks only: every frame enters the fabric exactly

@@ -381,6 +381,37 @@ def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
         "pixels_painted": pixels,
     }
 
+@scenario("wan_matrix", title="WAN adversity cell: cellular overload, static vs adaptive")
+def wan_matrix(ctx: ScenarioContext) -> Dict[str, float]:
+    from repro.experiments.wan_matrix import CellProbe
+    from repro.netsim.profiles import get_profile
+
+    profile = get_profile("cellular")
+    seconds = float(ctx.scale(full=20, quick=8))
+    demand = 2.0 * profile.down_rate_bps
+    static = CellProbe(
+        profile, demand, adaptive=False, seconds=seconds, seed=ctx.seed
+    ).run()
+    adaptive = CellProbe(
+        profile, demand, adaptive=True, seconds=seconds, seed=ctx.seed
+    ).run()
+    assert adaptive.allocator.stats.demotions >= 1, (
+        "adaptive cell failed to shed load under overload"
+    )
+    assert adaptive.downlink.stats.packets_dropped == 0, (
+        "adaptive cell still overran the downlink queue"
+    )
+    return {
+        "sim_events": static.sim.events_processed
+        + adaptive.sim.events_processed,
+        "sim_seconds": 2 * seconds,
+        "static_drops": static.downlink.stats.packets_dropped,
+        "demotions": adaptive.allocator.stats.demotions,
+        "rtt_samples": len(static.yardstick.rtts)
+        + len(adaptive.yardstick.rtts),
+    }
+
+
 @scenario("fleet_scale", title="Sharded fleet: campus day across 2 worker shards")
 def fleet_scale(ctx: ScenarioContext) -> Dict[str, float]:
     from repro.experiments.fleet_scale import fleet_spec, run_fleet_sharded

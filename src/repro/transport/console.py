@@ -112,7 +112,7 @@ class _SeqTracker:
         return True
 
     def holes_below(self, top: int) -> range:
-        """Seqs in ``[scanned_to', top)`` not yet categorised (callers
+        """Seqs in ``[scanned_to, top)`` not yet categorised (callers
         filter resolved/pending); advances the scan cursor."""
         start = max(self.frontier, self.scanned_to)
         self.scanned_to = max(self.scanned_to, top)

@@ -173,7 +173,41 @@ PIM = AppProfile(
     cpu_per_pixel=3.0e-7,
 )
 
+SCROLLHEAVY = AppProfile(
+    name="ScrollHeavy",
+    input_model=InputModel(
+        burst_weight=0.55,  # flick-scrolling: dense event trains
+        working_weight=0.33,
+        key_fraction=0.30,
+        pause_median=1.8,
+    ),
+    archetype=UpdateArchetype(
+        classes=(
+            # Cursor/selection echo between scrolls.
+            SizeClass("echo", 0.28, 450.0, 0.9, (0.25, 0.55, 0.08, 0.12), 0.30),
+            # Continuous wheel/flick scrolling: the dominant class, big
+            # regions moved every frame with a fresh strip painted in.
+            SizeClass("scroll", 0.47, 160_000.0, 0.55, (0.18, 0.12, 0.62, 0.08), 0.30),
+            # Viewport-filling repaints (tab switch, page jump).
+            SizeClass("page", 0.19, 220_000.0, 0.5, (0.42, 0.26, 0.12, 0.20), 0.45),
+            # Media-rich viewports: the literal-pixel tail.
+            SizeClass("image-page", 0.06, 180_000.0, 0.4, (0.35, 0.06, 0.15, 0.44), 0.40),
+        ),
+    ),
+    cpu_mean=0.16,
+    memory_mb=60.0,
+    cpu_per_event=0.006,
+    cpu_per_pixel=4.0e-7,
+)
+
 #: The Table 2 GUI benchmark set, keyed by name.
 BENCHMARK_APPS: Dict[str, AppProfile] = {
     app.name: app for app in (PHOTOSHOP, NETSCAPE, FRAMEMAKER, PIM)
 }
+
+#: The WAN/mobile adversity-matrix workload axis: the paper's four GUI
+#: applications plus the modern scroll-heavy web/IDE session that
+#: stresses sustained big-pixel throughput (the worst matrix cell).
+ADVERSITY_APPS: Dict[str, AppProfile] = dict(
+    BENCHMARK_APPS, **{SCROLLHEAVY.name: SCROLLHEAVY}
+)

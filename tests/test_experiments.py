@@ -302,6 +302,75 @@ class TestMultimediaLandmarks:
         assert fps == sorted(fps)
 
 
+class TestWanMatrixLandmarks:
+    def test_registered(self):
+        import repro.experiments.wan_matrix  # noqa: F401  (registers)
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "wan_matrix" in EXPERIMENTS
+
+    def test_lan_columns_byte_identical_to_fig8(self):
+        """The control row: same memoised studies, bit-for-bit equal."""
+        from repro.experiments.wan_matrix import workload_demands
+
+        table = bandwidth_table(n_users=N, duration=DUR)
+        demands = workload_demands(
+            n_users=N, duration=DUR, workloads=list(BENCHMARK_APPS)
+        )
+        for name, bw in table.items():
+            assert demands[name]["x"] == bw["x"], name
+            assert demands[name]["slim"] == bw["slim"], name
+            assert demands[name]["raw"] == bw["raw"], name
+
+    def test_busy_second_demand_exceeds_session_mean(self):
+        from repro.experiments.wan_matrix import workload_demands
+
+        demands = workload_demands(
+            n_users=N, duration=DUR, workloads=["Netscape", "ScrollHeavy"]
+        )
+        for name, bw in demands.items():
+            assert bw["demand"] > bw["slim"], name
+
+    def test_lan_cell_rtt_sub_millisecond(self):
+        from repro.experiments.wan_matrix import CellProbe
+        from repro.netsim.profiles import get_profile
+
+        probe = CellProbe(
+            get_profile("lan"), 1e6, adaptive=True, seconds=5.0
+        ).run()
+        assert probe.mean_rtt() < 0.001
+        assert probe.tier_name() == "full"
+        assert probe.allocator.stats.demotions == 0
+
+    def test_cellular_overload_degrades_gracefully(self):
+        """The adversity cell: tiers trade fidelity for interactivity."""
+        from repro.experiments.wan_matrix import CellProbe
+        from repro.netsim.profiles import get_profile
+
+        profile = get_profile("cellular")
+        demand = 2.0 * profile.down_rate_bps  # well past the downlink
+        static = CellProbe(profile, demand, adaptive=False, seconds=8.0).run()
+        adaptive = CellProbe(profile, demand, adaptive=True, seconds=8.0).run()
+        # Static: the paper's fixed allocation bufferbloats and drops.
+        assert static.downlink.stats.packets_dropped > 100
+        # Adaptive: demoted below full, queue stays bounded, probe RTT
+        # bounded near the propagation floor instead of collapsing.
+        assert adaptive.allocator.stats.demotions >= 1
+        assert adaptive.tier_name() != "full"
+        assert adaptive.downlink.stats.packets_dropped == 0
+        assert adaptive.mean_rtt() < 0.4
+        assert static.mean_rtt() > adaptive.mean_rtt()  # inf counts as worse
+
+
+class TestLossyFabricProfileCells:
+    def test_profile_probe_reports_finite_rtt(self):
+        from repro.experiments.lossy_fabric import yardstick_on_profile
+
+        rtt, loss = yardstick_on_profile("wifi", sim_seconds=10.0)
+        assert 0.005 < rtt < 0.050
+        assert 0.0 <= loss < 0.3
+
+
 class TestScalabilityVerdicts:
     def test_section_5_4_classification(self):
         from repro.experiments.scalability import verdicts

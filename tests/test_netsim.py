@@ -1,10 +1,19 @@
 """Unit tests for the discrete-event engine and the network fabric."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.netsim import Endpoint, Link, Network, Packet, Simulator, Switch
-from repro.netsim.transport import ReplayBuffer
+from repro.netsim import (
+    Endpoint,
+    GilbertElliottLoss,
+    Link,
+    Network,
+    Packet,
+    Simulator,
+    Switch,
+)
+from repro.netsim.transport import ReplayBuffer, _split_rng
 from repro.units import ETHERNET_100, MBPS, transmission_delay
 
 
@@ -114,6 +123,26 @@ class TestSimulator:
         sim.schedule(0.5, lambda: None)
         assert sim.peek_next_time() == pytest.approx(0.5)
 
+    def test_stop_while_idle_does_not_poison_next_run(self):
+        """A stray stop() outside any run must not abort the next one."""
+        sim = Simulator()
+        sim.stop()  # nothing running: a no-op, not a time bomb
+        fired = []
+        sim.schedule(0.1, lambda: fired.append(1))
+        sim.schedule(0.2, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_stop_after_completed_run_is_inert(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        sim.stop()  # late stop, after the run already drained
+        fired = []
+        sim.schedule(0.1, lambda: fired.append(sim.now))
+        sim.run_until(1.0)
+        assert fired and sim.now == pytest.approx(1.0)
+
 
 class TestLink:
     def make_link(self, rate=ETHERNET_100, **kw):
@@ -185,6 +214,112 @@ class TestLink:
     def test_invalid_rate(self):
         with pytest.raises(SimulationError):
             Link(Simulator(), 0, 0, deliver=lambda p: None)
+
+    def test_utilization_prorates_in_flight_packet(self):
+        """Sampling mid-serialization must not credit the whole packet.
+
+        busy_time used to be credited at transmission *start*, so a
+        monitor sampling halfway through a long packet saw utilization
+        above the truth (clamped to 1.0).
+        """
+        sim, link, _ = self.make_link(rate=1 * MBPS)
+        link.send(Packet(src="a", dst="b", nbytes=1250))  # 10 ms on wire
+        sim.run_until(0.004)
+        # 4 ms of a 10 ms serialization elapsed: half of an 8 ms window.
+        assert link.utilization(elapsed=0.008) == pytest.approx(0.5, rel=0.01)
+        sim.run()
+        assert link.utilization(elapsed=0.010005) <= 1.0
+        assert link.stats.busy_time == pytest.approx(0.010, rel=1e-6)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(SimulationError):
+            Link(Simulator(), 1e6, 0, deliver=lambda p: None, jitter=0.001)
+
+    def test_jitter_varies_delay_within_bounds(self, rng):
+        sim = Simulator()
+        times = []
+        link = Link(
+            sim,
+            1e9,
+            propagation_delay=0.010,
+            deliver=lambda p: times.append(sim.now - p.created_at),
+            jitter=0.005,
+            rng=rng,
+        )
+        for i in range(50):
+            packet = Packet(src="a", dst="b", nbytes=125)
+            packet.created_at = i * 0.1
+            sim.schedule_at(i * 0.1, lambda p=packet: link.send(p))
+        sim.run()
+        serialization = transmission_delay(125, 1e9)
+        assert len(times) == 50
+        for delay in times:
+            assert 0.010 <= delay - serialization <= 0.015 + 1e-9
+        assert max(times) - min(times) > 0.001  # actually varies
+
+
+class TestGilbertElliott:
+    def test_probability_validation(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(1.5, 0.5, 0.0, 0.5)
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(0.1, 0.5, -0.1, 0.5)
+
+    def test_absorbing_bad_state_rejected(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(0.1, 0.0, 0.0, 0.5)
+
+    def test_mean_loss_rate_stationary(self):
+        chain = GilbertElliottLoss(0.05, 0.2, 0.01, 0.9)
+        # bad share = 0.05 / 0.25 = 0.2
+        assert chain.mean_loss_rate() == pytest.approx(0.2 * 0.9 + 0.8 * 0.01)
+
+    def test_never_entering_bad_state(self):
+        chain = GilbertElliottLoss(0.0, 0.0, 0.02, 0.9)
+        assert chain.mean_loss_rate() == pytest.approx(0.02)
+
+    def test_losses_are_bursty(self, rng):
+        """P(loss | previous loss) must far exceed the marginal rate."""
+        chain = GilbertElliottLoss(0.05, 0.2, 0.01, 0.9)
+        draws = [chain.sample(rng) for _ in range(30_000)]
+        overall = np.mean(draws)
+        after_loss = [b for a, b in zip(draws, draws[1:]) if a]
+        assert overall == pytest.approx(chain.mean_loss_rate(), rel=0.15)
+        assert np.mean(after_loss) > 3 * overall
+
+    def test_fresh_resets_state_keeps_params(self):
+        chain = GilbertElliottLoss(0.05, 0.2, 0.01, 0.9)
+        chain.bad = True
+        copy = chain.fresh()
+        assert copy is not chain
+        assert not copy.bad
+        assert copy.p_enter_bad == chain.p_enter_bad
+        assert copy.loss_bad == chain.loss_bad
+
+    def test_link_burst_loss_requires_rng(self):
+        with pytest.raises(SimulationError):
+            Link(
+                Simulator(),
+                1e6,
+                0,
+                deliver=lambda p: None,
+                burst_loss=GilbertElliottLoss(0.05, 0.2, 0.01, 0.9),
+            )
+
+    def test_link_burst_loss_rate_matches_chain(self, rng):
+        sim = Simulator()
+        delivered = []
+        chain = GilbertElliottLoss(0.05, 0.2, 0.01, 0.9)
+        link = Link(
+            sim, 1e9, 0, deliver=delivered.append, burst_loss=chain, rng=rng
+        )
+        n = 5000
+        for _ in range(n):
+            link.send(Packet(src="a", dst="b", nbytes=100))
+        sim.run()
+        observed = 1 - len(delivered) / n
+        assert observed == pytest.approx(chain.mean_loss_rate(), abs=0.05)
+        assert link.stats.packets_lost == n - len(delivered)
 
 
 class TestSwitchAndNetwork:
@@ -264,6 +399,47 @@ class TestSwitchAndNetwork:
         switch.ingress(Packet(src="a", dst="nowhere", nbytes=10))
         sim.run()
         assert switch.packets_unrouteable == 1
+
+    def test_split_rng_streams_are_independent(self):
+        up, down = _split_rng(np.random.default_rng(7))
+        assert up is not down
+        assert list(up.integers(0, 1 << 30, 8)) != list(
+            down.integers(0, 1 << 30, 8)
+        )
+        assert _split_rng(None) == (None, None)
+
+    def test_direction_loss_streams_do_not_couple(self):
+        """Reverse-path traffic must not shift the forward loss pattern.
+
+        attach() used to hand the *same* generator to both directions of
+        the link pair, so every reverse-path packet advanced the forward
+        path's loss stream — NACK volume changed which display packets
+        died.  With per-direction streams the uplink's fate depends only
+        on the uplink's own draw sequence.
+        """
+
+        def uplink_survivors(with_reverse_traffic):
+            sim = Simulator()
+            network = Network(sim, default_rate_bps=ETHERNET_100)
+            got = []
+            network.attach(
+                Endpoint("server", on_receive=lambda p: got.append(p.payload))
+            )
+            network.attach(
+                Endpoint("console"),
+                loss_rate=0.3,
+                rng=np.random.default_rng(99),
+            )
+            for index in range(200):
+                network.send(
+                    Packet(src="console", dst="server", nbytes=100, payload=index)
+                )
+                if with_reverse_traffic:
+                    network.send(Packet(src="server", dst="console", nbytes=100))
+            sim.run()
+            return got
+
+        assert uplink_survivors(False) == uplink_survivors(True)
 
 
 class _Tagged:

@@ -1,0 +1,156 @@
+"""Unit tests for named network profiles and profile-aware attach."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim import (
+    Endpoint,
+    GilbertElliottLoss,
+    Network,
+    NetworkProfile,
+    PROFILES,
+    Packet,
+    Simulator,
+    get_profile,
+)
+from repro.units import MBPS
+
+
+class TestProfileRegistry:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"lan", "dsl", "longhaul", "wifi", "cellular"}
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_get_profile_unknown_name_lists_known(self):
+        with pytest.raises(SimulationError, match="cellular"):
+            get_profile("dialup")
+
+    def test_lan_is_the_only_deterministic_profile(self):
+        assert not PROFILES["lan"].randomized
+        for name in ("dsl", "longhaul", "wifi", "cellular"):
+            assert PROFILES[name].randomized, name
+
+
+class TestProfileModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NetworkProfile("x", "", up_rate_bps=0, down_rate_bps=1e6,
+                           propagation_delay=0)
+        with pytest.raises(SimulationError):
+            NetworkProfile("x", "", up_rate_bps=1e6, down_rate_bps=1e6,
+                           propagation_delay=-1)
+        with pytest.raises(SimulationError):
+            NetworkProfile("x", "", up_rate_bps=1e6, down_rate_bps=1e6,
+                           propagation_delay=0, loss_rate=1.5)
+
+    def test_min_rtt_orders_regimes(self):
+        lan = get_profile("lan").min_rtt()
+        cellular = get_profile("cellular").min_rtt()
+        assert lan < 0.001
+        assert cellular > 0.100
+        assert get_profile("longhaul").min_rtt() > 0.180
+
+    def test_mean_loss_rate_uses_burst_chain(self):
+        wifi = get_profile("wifi")
+        assert wifi.burst is not None
+        assert wifi.mean_loss_rate() == pytest.approx(
+            wifi.burst.mean_loss_rate()
+        )
+        dsl = get_profile("dsl")
+        assert dsl.mean_loss_rate() == dsl.loss_rate
+
+    def test_link_params_asymmetric_and_queue_on_downlink_only(self):
+        up, down = get_profile("dsl").link_params()
+        assert up["rate_bps"] == 1 * MBPS
+        assert down["rate_bps"] == 8 * MBPS
+        assert "queue_limit_bytes" in down and down["queue_limit_bytes"]
+        assert "queue_limit_bytes" not in up
+
+    def test_link_params_burst_chains_are_fresh_instances(self):
+        profile = get_profile("wifi")
+        up_a, down_a = profile.link_params()
+        up_b, down_b = profile.link_params()
+        chains = [
+            up_a["burst_loss"], down_a["burst_loss"],
+            up_b["burst_loss"], down_b["burst_loss"],
+        ]
+        assert len({id(chain) for chain in chains}) == 4
+        assert all(isinstance(c, GilbertElliottLoss) for c in chains)
+        assert all(not c.bad for c in chains)
+
+
+class TestProfileAttach:
+    def make_network(self):
+        sim = Simulator()
+        return sim, Network(sim, default_rate_bps=100 * MBPS)
+
+    def test_profile_and_explicit_kwargs_conflict(self):
+        sim, network = self.make_network()
+        with pytest.raises(SimulationError):
+            network.attach(
+                Endpoint("a"), profile=get_profile("lan"), rate_bps=1e6
+            )
+
+    def test_randomized_profile_requires_rng(self):
+        sim, network = self.make_network()
+        with pytest.raises(SimulationError):
+            network.attach(Endpoint("a"), profile=get_profile("cellular"))
+
+    def test_lan_profile_matches_default_attach(self):
+        """The control cell: profile=lan is the plain paper fabric."""
+
+        def delivery_time(use_profile):
+            sim, network = self.make_network()
+            times = []
+            kwargs = {"profile": get_profile("lan")} if use_profile else {}
+            network.attach(
+                Endpoint("rx", on_receive=lambda p: times.append(sim.now)),
+                **kwargs,
+            )
+            network.attach(Endpoint("tx"))
+            network.send(Packet(src="tx", dst="rx", nbytes=1500))
+            sim.run()
+            return times[0]
+
+        assert delivery_time(True) == pytest.approx(delivery_time(False))
+
+    def test_profile_attach_sets_rates_and_burst(self):
+        sim, network = self.make_network()
+        network.attach(
+            Endpoint("mobile"),
+            profile=get_profile("cellular"),
+            rng=np.random.default_rng(3),
+        )
+        uplink = network.uplink("mobile")
+        downlink = network.downlink("mobile")
+        assert uplink.rate_bps == 1 * MBPS
+        assert downlink.rate_bps == 2 * MBPS
+        assert uplink.burst_loss is not None
+        assert downlink.burst_loss is not None
+        assert uplink.burst_loss is not downlink.burst_loss
+        assert uplink.rng is not downlink.rng
+        assert downlink.queue_limit_bytes == 192 * 1024
+
+    def test_profile_fabric_end_to_end_determinism(self):
+        """Same seed, same profile: identical delivery outcome."""
+
+        def outcome(seed):
+            sim, network = self.make_network()
+            got = []
+            network.attach(
+                Endpoint("rx", on_receive=lambda p: got.append(p.payload)),
+                profile=get_profile("wifi"),
+                rng=np.random.default_rng(seed),
+            )
+            network.attach(Endpoint("tx"))
+            for index in range(300):
+                network.send(
+                    Packet(src="tx", dst="rx", nbytes=400, payload=index)
+                )
+            sim.run()
+            return got
+
+        assert outcome(11) == outcome(11)
+        assert outcome(11) != outcome(12)
