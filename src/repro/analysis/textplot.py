@@ -9,13 +9,18 @@ matplotlib dependency).  Used by ``examples/paper_figures.py``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.analysis.cdf import Cdf
 
 #: Glyphs assigned to successive series in a multi-series plot.
 SERIES_GLYPHS = "*o+x#@%&"
+
+#: Density ramp for sparklines and heatstrips, light to heavy.  Pure
+#: ASCII on purpose: the dashboard must survive dumb terminals and CI
+#: logs where the Unicode block elements render as tofu.
+DENSITY_RAMP = " .:-=+*#%@"
 
 
 def _log_ticks(lo: float, hi: float) -> List[float]:
@@ -111,6 +116,73 @@ def render_cdf(
         for i, name in enumerate(cdfs)
     )
     lines.append(legend)
+    return "\n".join(lines)
+
+
+def _ramp_glyph(value: float, lo: float, hi: float) -> str:
+    """Map a value onto the density ramp; None-safe callers filter first."""
+    if hi <= lo:
+        return DENSITY_RAMP[-1] if value > lo else DENSITY_RAMP[0]
+    frac = (value - lo) / (hi - lo)
+    index = int(round(frac * (len(DENSITY_RAMP) - 1)))
+    return DENSITY_RAMP[min(len(DENSITY_RAMP) - 1, max(0, index))]
+
+
+def render_sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """One-row density sparkline for a numeric series.
+
+    Values are resampled onto ``width`` columns (mean per column) and
+    mapped onto :data:`DENSITY_RAMP`.  ``lo``/``hi`` pin the scale so
+    several sparklines can share one axis; they default to the series'
+    own range.
+    """
+    if not values:
+        return " " * width
+    if lo is None:
+        lo = min(values)
+    if hi is None:
+        hi = max(values)
+    columns: List[str] = []
+    n = len(values)
+    for col in range(width):
+        start = col * n // width
+        end = max(start + 1, (col + 1) * n // width)
+        chunk = values[start:end]
+        columns.append(_ramp_glyph(sum(chunk) / len(chunk), lo, hi))
+    return "".join(columns)
+
+
+def render_heatstrip(
+    rows: Dict[str, Sequence[float]],
+    width: int = 60,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Stacked sparklines on a shared scale — one labelled row per
+    series, rendered like a heat map strip chart."""
+    if not rows:
+        raise ReproError("nothing to plot")
+    pooled = [v for values in rows.values() for v in values]
+    if pooled:
+        if lo is None:
+            lo = min(pooled)
+        if hi is None:
+            hi = max(pooled)
+    label_width = max(len(name) for name in rows)
+    lines = [
+        f"{name:<{label_width}} |{render_sparkline(values, width, lo, hi)}|"
+        for name, values in rows.items()
+    ]
+    if pooled:
+        lines.append(
+            f"{'':{label_width}}  scale {lo:g}..{hi:g} "
+            f"({DENSITY_RAMP[0]!r} low, {DENSITY_RAMP[-1]!r} high)"
+        )
     return "\n".join(lines)
 
 

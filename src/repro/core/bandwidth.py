@@ -250,7 +250,9 @@ class TieredAllocator:
                 f"negative bandwidth request from client {client_id}"
             )
         self._desired[client_id] = float(bits_per_second)
-        self._tier_index.setdefault(client_id, 0)
+        if client_id not in self._tier_index:
+            self._tier_index[client_id] = 0
+            self._record_tier_level(client_id)
         self._push_request(client_id)
 
     def withdraw(self, client_id: int) -> None:
@@ -372,4 +374,14 @@ class TieredAllocator:
             self._metrics.counter(
                 "bw.tier.transitions", direction=direction, tier=new.name
             ).inc()
+            self._record_tier_level(client_id)
         return (client_id, old.name, new.name)
+
+    def _record_tier_level(self, client_id: int) -> None:
+        """Publish the client's tier index as a gauge (0 = full
+        fidelity) so time-series windows can track residency — the
+        tier_residency SLO reads this series."""
+        if self._metrics.enabled:
+            self._metrics.gauge("bw.tier.level", client=client_id).set(
+                self._tier_index[client_id]
+            )

@@ -26,6 +26,7 @@ from repro.core.bandwidth import BandwidthAllocator
 from repro.core.wire import message_wire_nbytes
 from repro.framebuffer.regions import Rect
 from repro.framebuffer.yuv import bilinear_scale
+from repro.telemetry.metrics import get_registry
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,14 @@ class VideoStream:
         self.frames_sent = 0
         self.bytes_sent = 0
         self._granted_bps: Optional[float] = None
+        # Resolved once: the video_frame_rate SLO reads this counter's
+        # per-window rate; disabled telemetry costs one None test per frame.
+        m = get_registry()
+        self._m_frames = (
+            m.counter("video.frames_sent", stream=client_id)
+            if m.enabled
+            else None
+        )
 
     # -- bandwidth management -------------------------------------------------
     def negotiate(self, target_fps: float) -> float:
@@ -147,6 +156,8 @@ class VideoStream:
         )
         self.frames_sent += 1
         self.bytes_sent += message_wire_nbytes(command)
+        if self._m_frames is not None:
+            self._m_frames.inc()
         return command
 
     def encode_clip(

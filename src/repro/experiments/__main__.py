@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments --capture run.slimcap lossy   # wire capture
     python -m repro.experiments --trace-events t.json lossy   # Chrome trace
     python -m repro.experiments --progress fig11   # live health line
+    python -m repro.experiments --timeseries ts.jsonl --slo wan_matrix
+    python -m repro.experiments --dashboard fleet_scale  # live sparklines
     python -m repro.experiments --profile fig9     # cProfile top-N
     python -m repro.experiments --memprofile fig9  # tracemalloc diff
 
@@ -55,11 +57,14 @@ from repro.experiments.runner import EXPERIMENTS, ExperimentConfig, render_table
 from repro.obs import (
     ObsContext,
     SlimcapWriter,
+    SloEngine,
+    TimeSeriesCollection,
     TraceCollector,
     chrome_trace_events,
+    collect_timeseries,
     use_obs,
 )
-from repro.perf.progress import live_progress
+from repro.perf.progress import live_dashboard, live_progress
 from repro.telemetry import (
     MetricsRegistry,
     render_json,
@@ -124,6 +129,34 @@ def main(argv=None) -> int:
         "(sim-time, events/sec, drops, ETA)",
     )
     parser.add_argument(
+        "--timeseries",
+        metavar="PATH",
+        help="sample telemetry into sim-time windows and write the series "
+        "as JSONL (render with python -m repro.tools.dashboard)",
+    )
+    parser.add_argument(
+        "--timeseries-window",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="window width for --timeseries/--slo sampling (default 1.0)",
+    )
+    parser.add_argument(
+        "--slo",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="evaluate the interactivity SLOs over the sampled windows "
+        "and print the report (optionally writing it as JSONL to PATH)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="live multi-line mini-dashboard (status line + telemetry "
+        "sparklines) instead of the one-line --progress readout",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         const="profile.txt",
@@ -163,7 +196,21 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
     collect = args.metrics or args.metrics_json is not None
-    registry = MetricsRegistry() if collect else None
+    sampling = (
+        args.timeseries is not None
+        or args.slo is not None
+        or args.dashboard
+    )
+    # Windowed sampling needs instruments to sample, so it implies a
+    # registry; the end-of-run telemetry report still keys off --metrics.
+    registry = MetricsRegistry() if collect or sampling else None
+    collection = (
+        TimeSeriesCollection(
+            window=args.timeseries_window, registry=registry
+        )
+        if sampling
+        else None
+    )
     config = ExperimentConfig(
         seed=args.seed,
         duration=args.duration,
@@ -171,7 +218,11 @@ def main(argv=None) -> int:
         registry=registry,
     )
 
-    observing = args.capture is not None or args.trace_events is not None
+    # Sampling also installs a tracer so windows (and SLO health events)
+    # carry the trace ids that were in flight.
+    observing = (
+        args.capture is not None or args.trace_events is not None or sampling
+    )
     tracer = TraceCollector() if observing else None
     writer = SlimcapWriter(args.capture) if args.capture is not None else None
     obs = ObsContext(tracer=tracer, capture=writer) if observing else None
@@ -188,26 +239,37 @@ def main(argv=None) -> int:
     results = []
     interrupted = False
     try:
-        with use_registry(registry) if collect else _null_context():
+        with use_registry(registry) if registry is not None else _null_context():
             with use_obs(obs) if observing else _null_context():
                 with (
-                    live_progress(target_sim_seconds=args.duration)
+                    live_dashboard(
+                        collection, target_sim_seconds=args.duration
+                    )
+                    if args.dashboard
+                    else live_progress(target_sim_seconds=args.duration)
                     if args.progress
                     else _null_context()
                 ):
-                    for experiment_id in selected:
-                        started = time.time()
-                        if profiler is not None:
-                            profiler.enable()
-                        try:
-                            result = EXPERIMENTS[experiment_id].runner(config)
-                        finally:
+                    with (
+                        collect_timeseries(collection)
+                        if sampling
+                        else _null_context()
+                    ):
+                        for experiment_id in selected:
+                            started = time.time()
                             if profiler is not None:
-                                profiler.disable()
-                        results.append(result)
-                        print(render_table(result))
-                        print(f"  ({time.time() - started:.1f}s)")
-                        print()
+                                profiler.enable()
+                            try:
+                                result = EXPERIMENTS[experiment_id].runner(
+                                    config
+                                )
+                            finally:
+                                if profiler is not None:
+                                    profiler.disable()
+                            results.append(result)
+                            print(render_table(result))
+                            print(f"  ({time.time() - started:.1f}s)")
+                            print()
     except KeyboardInterrupt:
         interrupted = True
         print(
@@ -234,7 +296,20 @@ def main(argv=None) -> int:
             f"{len(document['traceEvents'])} Chrome trace events "
             f"written to {args.trace_events}"
         )
-    if registry is not None:
+    if collection is not None:
+        if args.timeseries:
+            count = collection.write_jsonl(args.timeseries)
+            print(
+                f"{count} time-series records "
+                f"({len(collection.runs)} runs) written to {args.timeseries}"
+            )
+        if args.slo is not None:
+            report = SloEngine().evaluate(collection)
+            print(report.render())
+            if args.slo:
+                count = report.write_jsonl(args.slo)
+                print(f"{count} SLO records written to {args.slo}")
+    if registry is not None and collect:
         print(render_report(registry, title="telemetry report"))
         if args.metrics_json:
             with open(args.metrics_json, "w", encoding="utf-8") as fh:

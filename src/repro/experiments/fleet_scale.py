@@ -48,6 +48,8 @@ from repro.netsim.sharded import (
     ShardContext,
     ShardedBackend,
 )
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.timeseries import RunSeries, active_collection
 from repro.server.host import E4500
 from repro.telemetry.metrics import MetricsRegistry, get_registry, set_registry
 from repro.units import MBPS
@@ -392,6 +394,77 @@ def provisioning_rows(
     return rows, notes
 
 
+def fleet_window_series(
+    aggregator: FleetAggregator, spec: FleetSpec, label: str = "fleet/windows"
+) -> RunSeries:
+    """The fleet demand curve as a gauge time-series.
+
+    One window per ``report_window``, carrying the fleet-wide per-window
+    maxima as gauges (``fleet.cpu``, ``fleet.active``, ``fleet.net_mbps``)
+    so the dashboard and the SLO engine see the same numbers as the
+    provisioning table.
+    """
+    run = RunSeries(label, window=spec.report_window)
+    for row in aggregator.window_totals():
+        t0 = row["window"] * spec.report_window
+        run.append_window(
+            {
+                "t0": t0,
+                "t1": t0 + spec.report_window,
+                "counters": {},
+                "gauges": {
+                    "fleet.cpu": row["cpu"],
+                    "fleet.active": float(row["active"]),
+                    "fleet.net_mbps": row["net_mbps"],
+                },
+                "histograms": {},
+            }
+        )
+    return run
+
+
+def fleet_capacity_slos(cpus_needed: int) -> List[SloSpec]:
+    """Capacity SLOs for a fleet provisioned at ``cpus_needed`` CPUs.
+
+    * ``fleet_capacity`` — demand never exceeds the oversubscribed
+      capacity the provisioning row promises (zero violation budget: by
+      construction ``cpus_needed`` covers the observed peak, so any
+      violation means the table and the series disagree).
+    * ``fleet_headroom`` — demand stays within the *un*-oversubscribed
+      CPU count most of the day; the 30% budget tolerates the diurnal
+      peak hours that the 1.5x oversubscription exists to absorb.
+    """
+    capacity = cpus_needed * (1.0 + PROVISION_HEADROOM)
+    return [
+        SloSpec(
+            name="fleet_capacity",
+            metric="fleet.cpu",
+            kind="gauge",
+            threshold=capacity,
+            op="<=",
+            budget=0.0,
+            event="capacity_exceeded",
+            description=(
+                f"fleet CPU demand within provisioned capacity "
+                f"({capacity:.1f} ref-CPUs)"
+            ),
+        ),
+        SloSpec(
+            name="fleet_headroom",
+            metric="fleet.cpu",
+            kind="gauge",
+            threshold=float(cpus_needed),
+            op="<=",
+            budget=0.30,
+            event="headroom_burn",
+            description=(
+                f"demand within the un-oversubscribed CPU count "
+                f"({cpus_needed}) outside peak hours"
+            ),
+        ),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Run on either backend
 # ---------------------------------------------------------------------------
@@ -450,11 +523,44 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"{int(samples.get('count', 0))} demand samples, "
             f"mean {samples.get('mean', 0.0):.1f} active users/workgroup"
         )
+        if collection.series is not None:
+            telemetry_note += (
+                f"; {sum(1 for s in collection.series_per_shard if s)} shard "
+                f"time-series merged into "
+                f"{len(collection.series.windows)} windows"
+            )
     else:
         aggregator = run_fleet_local(spec)
         telemetry_note = "single-process run (LocalBackend via LocalBus)"
     rows, notes = provisioning_rows(aggregator, spec)
     notes.append(telemetry_note)
+
+    # With --timeseries/--slo active, publish the fleet demand curve as
+    # its own run and grade it against the capacity SLOs in the table.
+    sampling = active_collection()
+    fleet_row = rows[-1]
+    if sampling is not None:
+        series = fleet_window_series(aggregator, spec)
+        sampling.adopt_run(series)
+        specs = fleet_capacity_slos(fleet_row["CPUs needed"])
+        report = SloEngine(specs).evaluate([series])
+        parts = []
+        for slo in specs:
+            result = report.compliance(series.label, slo.name)
+            if result is None:
+                continue
+            status = "ok" if result.compliant else "VIOL"
+            parts.append(
+                f"{slo.name.split('_', 1)[1]} "
+                f"{result.ok_windows}/{result.windows} {status}"
+            )
+        fleet_row["SLO"] = "; ".join(parts) if parts else "n/a"
+        notes.append(
+            "SLO column grades the fleet curve: capacity = provisioned "
+            f"{fleet_row['CPUs needed']} CPUs x 1.5 oversubscription "
+            "(zero budget), headroom = the raw CPU count with a 30% "
+            "budget for peak hours"
+        )
     return ExperimentResult(
         experiment_id="fleet_scale",
         title="Fleet-scale provisioning across sharded workgroup subtrees",

@@ -49,6 +49,8 @@ from repro.netsim.backend import LocalBackend
 from repro.netsim.packet import Packet
 from repro.netsim.profiles import PROFILES, NetworkProfile, get_profile
 from repro.netsim.transport import Endpoint, Network
+from repro.obs.slo import KEYSTROKE_ECHO, SloEngine
+from repro.obs.timeseries import RunSeries, active_collection
 from repro.telemetry.metrics import MetricsRegistry
 from repro.units import ETHERNET_1G, MBPS
 from repro.workloads.apps import ADVERSITY_APPS
@@ -146,6 +148,7 @@ class CellProbe:
             console_addr="console",
             server_addr="server",
             warmup=1.0,
+            registry=registry,
         )
         self.display_bytes_received = 0
 
@@ -274,27 +277,33 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         workloads=workload_names,
     )
     rows: List[Dict[str, object]] = []
+    collection = active_collection()
+    slo_engine = SloEngine([KEYSTROKE_ECHO])
     for profile_name in profile_names:
         profile = get_profile(profile_name)
         floor_ms = 1000 * profile.min_rtt()
         for workload in workload_names:
             bw = demands[workload]
-            static = CellProbe(
-                profile,
-                bw["demand"],
-                adaptive=False,
-                seconds=cell_seconds,
-                seed=probe_seed,
-                registry=registry,
-            ).run()
-            adaptive = CellProbe(
-                profile,
-                bw["demand"],
-                adaptive=True,
-                seconds=cell_seconds,
-                seed=probe_seed,
-                registry=registry,
-            ).run()
+            static_label = f"{profile_name}/{workload}/static"
+            adaptive_label = f"{profile_name}/{workload}/adaptive"
+            with _cell_label(collection, static_label):
+                static = CellProbe(
+                    profile,
+                    bw["demand"],
+                    adaptive=False,
+                    seconds=cell_seconds,
+                    seed=probe_seed,
+                    registry=registry,
+                ).run()
+            with _cell_label(collection, adaptive_label):
+                adaptive = CellProbe(
+                    profile,
+                    bw["demand"],
+                    adaptive=True,
+                    seconds=cell_seconds,
+                    seed=probe_seed,
+                    registry=registry,
+                ).run()
             allocator = adaptive.allocator
             assert allocator is not None
             if registry.enabled:
@@ -307,7 +316,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                     "wan.yardstick.samples", profile=profile_name,
                     workload=workload,
                 ).inc(len(adaptive.yardstick.rtts))
-            rows.append(
+            row: Dict[str, object] = (
                 {
                     "profile": profile_name,
                     "workload": workload,
@@ -330,6 +339,18 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                     ),
                 }
             )
+            if collection is not None:
+                # Flush trailing partial windows so the per-cell SLO
+                # verdict sees the whole cell, then judge each series
+                # against the 150 ms keystroke-echo budget.
+                collection.finish_samplers()
+                row["SLO static"] = _slo_compliance(
+                    slo_engine, collection.run_by_label(static_label)
+                )
+                row["SLO adaptive"] = _slo_compliance(
+                    slo_engine, collection.run_by_label(adaptive_label)
+                )
+            rows.append(row)
     return ExperimentResult(
         experiment_id="wan_matrix",
         title="WAN/mobile adversity matrix: profiles x workloads",
@@ -345,8 +366,34 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             "graceful degradation: adaptive cells park at the highest "
             "tier whose rate fits and keep probe RTT near the floor; "
             "static cells bufferbloat and tail-drop instead",
+            "SLO columns (with --timeseries/--slo) count windows whose "
+            "windowed yardstick p95 met the 150 ms keystroke-echo "
+            "budget; VIOL marks cells whose violations blew the "
+            f"{KEYSTROKE_ECHO.budget:.0%} error budget",
         ],
     )
+
+
+def _cell_label(collection, label: str):
+    """Scope a time-series run label to one probe (no-op when the
+    session is not sampling)."""
+    if collection is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    return collection.label(label)
+
+
+def _slo_compliance(engine: SloEngine, run: Optional[RunSeries]) -> str:
+    """``ok/total`` keystroke-echo verdict for one cell's sampled run."""
+    if run is None or not run.windows:
+        return "n/a"
+    report = engine.evaluate([run])
+    result = report.compliance(run.label, KEYSTROKE_ECHO.name)
+    if result is None:
+        return "n/a"
+    status = "ok" if result.compliant else "VIOL"
+    return f"{result.ok_windows}/{result.windows} {status}"
 
 
 def _fmt_ms(seconds: float) -> object:

@@ -21,6 +21,8 @@ from repro.errors import WorkloadError
 from repro.netsim.backend import SimulationBackend
 from repro.netsim.packet import Packet
 from repro.netsim.transport import Network
+from repro.obs.context import get_obs
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 #: The CPU yardstick's constants (Section 6.1).
 CPU_YARDSTICK_BURST = 0.030
@@ -30,6 +32,25 @@ CPU_YARDSTICK_THINK = 0.150
 NET_YARDSTICK_REQUEST_NBYTES = 64
 NET_YARDSTICK_RESPONSE_NBYTES = 1200
 NET_YARDSTICK_THINK = 0.150
+
+#: RTT histogram bounds, seconds: sub-ms LAN detail through the 150 ms
+#: interactivity cadence up to multi-second bufferbloat, so windowed
+#: quantiles can place p95 on either side of the SLO threshold.
+YARDSTICK_RTT_BUCKETS = (
+    0.002,
+    0.005,
+    0.010,
+    0.025,
+    0.050,
+    0.075,
+    0.100,
+    0.150,
+    0.250,
+    0.500,
+    1.0,
+    2.0,
+    5.0,
+)
 
 
 class NetworkYardstick:
@@ -46,6 +67,9 @@ class NetworkYardstick:
         server_addr: Address of the server endpoint.
         think: Think time between round trips.
         warmup: Samples taken before this time are discarded.
+        registry: Telemetry registry for the per-round RTT histogram
+            (``net.yardstick.rtt_seconds``); defaults to the ambient
+            registry, and costs nothing when telemetry is disabled.
     """
 
     def __init__(
@@ -56,6 +80,7 @@ class NetworkYardstick:
         server_addr: str,
         think: float = NET_YARDSTICK_THINK,
         warmup: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -67,6 +92,17 @@ class NetworkYardstick:
         self.lost = 0
         self._sent_at: Optional[float] = None
         self._seq = 0
+        m = registry if registry is not None else get_registry()
+        self._m_rtt = (
+            m.histogram(
+                "net.yardstick.rtt_seconds", buckets=YARDSTICK_RTT_BUCKETS
+            )
+            if m.enabled
+            else None
+        )
+        obs = get_obs()
+        self._tracer = obs.tracer if obs is not None else None
+        self._probe_id: Optional[int] = None
 
     # -- wiring -------------------------------------------------------------
     def handle_server_packet(self, packet: Packet) -> None:
@@ -91,7 +127,10 @@ class NetworkYardstick:
         rtt = self.sim.now - self._sent_at
         if self.sim.now >= self.warmup:
             self.rtts.append(rtt)
+            if self._m_rtt is not None:
+                self._m_rtt.observe(rtt)
         self._sent_at = None
+        self._close_probe()
         self.sim.schedule(self.think, self._send_request)
 
     # -- probe loop -----------------------------------------------------------
@@ -102,6 +141,13 @@ class NetworkYardstick:
         self._seq += 1
         self._sent_at = self.sim.now
         seq = self._seq
+        if self._tracer is not None:
+            # One probe span per round: open until the response lands
+            # (or the round is declared lost), so slow rounds show up in
+            # the open-trace set that health events are annotated with.
+            self._probe_id = self._tracer.begin_probe(
+                "net.yardstick.round", self.sim.now
+            )
         request = Packet(
             src=self.console_addr,
             dst=self.server_addr,
@@ -125,7 +171,13 @@ class NetworkYardstick:
             return
         self.lost += 1
         self._sent_at = None
+        self._close_probe()
         self.sim.schedule(self.think, self._send_request)
+
+    def _close_probe(self) -> None:
+        if self._tracer is not None and self._probe_id is not None:
+            self._tracer.end_probe(self._probe_id)
+            self._probe_id = None
 
     # -- results ----------------------------------------------------------------
     def mean_rtt(self) -> float:

@@ -204,12 +204,33 @@ def _shard_worker(
 ) -> None:
     """Worker-process main loop: build the shard, then serve barriers."""
     try:
+        from repro.obs.timeseries import active_collection
+
+        # An active parent collection (inherited through fork) is the
+        # signal to sample this shard's engine too; the series travels
+        # back over the pipe at the collect barrier.
+        parent_series = active_collection()
         # The parent's live-progress monitor factory must not leak into
         # shard engines (N processes racing on one stderr line).
         set_default_monitor(None)
         sim = Simulator()
         ctx = ShardContext(sim, shard_index, n_shards, lookahead)
         program = build(ctx, *build_args) if build is not None else None
+        sampler = None
+        if parent_series is not None:
+            # After build: shard programs may install their own registry
+            # (e.g. build_fleet_shard), and that is the one to sample.
+            from repro.obs.timeseries import RunSeries, attach_sampler
+            from repro.telemetry.metrics import get_registry
+
+            registry = get_registry()
+            if registry.enabled:
+                run = RunSeries(
+                    f"shard-{shard_index}",
+                    window=parent_series.window,
+                    max_windows=parent_series.max_windows,
+                )
+                sampler = attach_sampler(sim, run, registry=registry)
         conn.send(
             ("ready", sim.pending, sim.peek_next_time(), sim.events_processed)
         )
@@ -243,7 +264,17 @@ def _shard_worker(
                     payload = program.collect()
                 registry = get_registry()
                 snapshot = registry.snapshot() if registry.enabled else []
-                conn.send(("collected", payload, snapshot))
+                series = None
+                if sampler is not None:
+                    sampler.finish(sim.now)
+                    if sampler.run.windows:
+                        series = {
+                            "label": sampler.run.label,
+                            "window_seconds": sampler.run.window,
+                            "max_windows": sampler.run.max_windows,
+                            "windows": sampler.run.windows,
+                        }
+                conn.send(("collected", payload, snapshot, series))
             elif op == "close":
                 conn.send(("closed",))
                 return
@@ -272,6 +303,13 @@ class ShardCollection:
     results: List[Any] = field(default_factory=list)
     telemetry: List[Dict[str, Any]] = field(default_factory=list)
     telemetry_per_shard: List[List[Dict[str, Any]]] = field(default_factory=list)
+    #: Merged fleet-wide :class:`~repro.obs.timeseries.RunSeries` (one
+    #: coherent timeline), when the run sampled time series; else None.
+    series: Optional[Any] = None
+    #: The raw per-shard series payloads (label/window/windows dicts).
+    series_per_shard: List[Optional[Dict[str, Any]]] = field(
+        default_factory=list
+    )
 
 
 class ShardedBackend:
@@ -575,10 +613,37 @@ class ShardedBackend:
             conn.send(("collect",))
         for index, (_process, conn) in enumerate(self._workers):
             reply = self._expect(index, conn.recv(), "collected")
-            _tag, payload, snapshot = reply
+            _tag, payload, snapshot, series = reply
             collection.results.append(payload)
             collection.telemetry_per_shard.append(snapshot)
+            collection.series_per_shard.append(series)
         collection.telemetry = merge_telemetry(collection.telemetry_per_shard)
+        if any(collection.series_per_shard):
+            from repro.obs.timeseries import (
+                RunSeries,
+                active_collection,
+                merge_runs,
+            )
+
+            shard_runs = []
+            for data in collection.series_per_shard:
+                if not data:
+                    continue
+                run = RunSeries(
+                    data["label"],
+                    window=data["window_seconds"],
+                    max_windows=data["max_windows"],
+                )
+                run.windows = list(data["windows"])
+                shard_runs.append(run)
+            collection.series = merge_runs(shard_runs, label="sharded/merged")
+            # Surface the fleet timeline on the runner's collection so
+            # --timeseries JSONL and the SLO engine see sharded runs too.
+            active = active_collection()
+            if active is not None:
+                merged = collection.series
+                merged.label = active.next_label()
+                active.adopt_run(merged)
         return collection
 
 

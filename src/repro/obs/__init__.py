@@ -38,21 +38,55 @@ from repro.obs.causal import (
     stage_percentiles,
 )
 from repro.obs.context import ObsContext, get_obs, set_obs, use_obs
+from repro.obs.slo import (
+    INTERACTIVITY_SLOS,
+    HealthEvent,
+    SloEngine,
+    SloReport,
+    SloResult,
+    SloSpec,
+    validate_slo_records,
+)
+from repro.obs.timeseries import (
+    RunSeries,
+    TimeSeriesCollection,
+    TimeSeriesSampler,
+    active_collection,
+    attach_sampler,
+    collect_timeseries,
+    merge_runs,
+    validate_timeseries_records,
+)
 
 __all__ = [
+    "INTERACTIVITY_SLOS",
     "STAGES",
     "CaptureRecord",
     "CapturedMessage",
+    "HealthEvent",
     "MessageTrace",
     "ObsContext",
+    "RunSeries",
     "SlimcapReader",
     "SlimcapWriter",
+    "SloEngine",
+    "SloReport",
+    "SloResult",
+    "SloSpec",
+    "TimeSeriesCollection",
+    "TimeSeriesSampler",
     "TraceCollector",
     "UpdateTrace",
+    "active_collection",
+    "attach_sampler",
     "chrome_trace_events",
+    "collect_timeseries",
     "get_obs",
     "is_slimcap",
+    "merge_runs",
     "set_obs",
     "stage_percentiles",
     "use_obs",
+    "validate_slo_records",
+    "validate_timeseries_records",
 ]

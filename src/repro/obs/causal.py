@@ -271,6 +271,32 @@ class TraceCollector:
         #: recovery re-encodes to the update whose message they replace.
         self._update_by_message: Dict[MessageKey, UpdateTrace] = {}
         self._current_update: Optional[UpdateTrace] = None
+        #: Probe spans (yardstick rounds, synthetic interactions) that
+        #: are in flight: trace_id -> (name, started_at).  Kept out of
+        #: ``_by_id`` so packet hooks never confuse a probe id with a
+        #: message trace.
+        self._open_probes: Dict[int, Tuple[str, float]] = {}
+
+    # -- probe spans -------------------------------------------------------
+    def begin_probe(self, name: str, now: float) -> int:
+        """Open a named measurement span (e.g. one yardstick round) and
+        return its trace id.  Probe ids share the message id space so a
+        health event can cite either kind unambiguously."""
+        trace_id = next(self._ids)
+        self._open_probes[trace_id] = (name, now)
+        return trace_id
+
+    def end_probe(self, trace_id: int) -> None:
+        """Close a probe span; unknown ids are tolerated (the probe may
+        have been opened before a collector swap)."""
+        self._open_probes.pop(trace_id, None)
+
+    def open_trace_ids(self) -> List[int]:
+        """Ids of everything currently in flight — open probe spans plus
+        unreassembled message traces — for annotating health events."""
+        ids = list(self._open_probes)
+        ids.extend(trace.trace_id for trace in self._open.values())
+        return sorted(set(ids))
 
     # -- driver hooks ------------------------------------------------------
     def begin_update(self, now: float) -> int:

@@ -1,0 +1,578 @@
+"""Declarative interactivity SLOs over windowed telemetry series.
+
+The paper's usability argument is a handful of thresholds: keystroke
+echo must keep up with the ~150 ms human cadence (the yardstick's think
+time, Section 6.2), video must hold its frame rate (Section 6.3), loss
+recovery must finish before the user notices, and the bandwidth tiers
+from the adversity work must not park a session at thumbnail quality.
+This module makes those thresholds first-class: an :class:`SloSpec`
+names a windowed series (as produced by :mod:`repro.obs.timeseries`),
+a comparison, and an *error budget* — the fraction of windows allowed
+to violate before the SLO as a whole is broken — and the
+:class:`SloEngine` evaluates every spec against every run, tracking
+budget burn (violations consumed / violations allowed; > 1 means the
+budget is blown).
+
+Alongside per-spec results the engine emits structured **health
+events** — latency spikes (contiguous violating windows merged into one
+event), loss bursts, tier thrash, and queue buildup — each annotated
+with the trace ids that were in flight during the offending windows, so
+an event links straight back to the causal traces of the affected
+updates.
+
+JSONL schema (one object per line)::
+
+    {"type": "slo_header", "version": 1, "specs": [...]}
+    {"type": "slo", "run": "cellular/Netscape/static",
+     "spec": "keystroke_echo", "series": "net.yardstick.rtt_seconds",
+     "windows": 11, "violations": 9, "budget": 0.05, "burn": 16.4,
+     "compliant": false, "worst": {"t0": 4.0, "value": 1.72}}
+    {"type": "event", "kind": "latency_spike", "run": "...",
+     "series": "...", "t0": 2.0, "t1": 11.0, "value": 1.72,
+     "threshold": 0.15, "trace_ids": [17, 19]}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.obs.timeseries import (
+    RunSeries,
+    TimeSeriesCollection,
+    window_value,
+)
+
+__all__ = [
+    "SLO_SCHEMA_VERSION",
+    "SloSpec",
+    "SloResult",
+    "HealthEvent",
+    "SloReport",
+    "SloEngine",
+    "INTERACTIVITY_SLOS",
+    "KEYSTROKE_ECHO",
+    "VIDEO_FRAME_RATE",
+    "LOSS_RECOVERY",
+    "TIER_RESIDENCY",
+    "validate_slo_records",
+]
+
+SLO_SCHEMA_VERSION = 1
+
+#: Comparison operators a spec may use (value OP threshold passes).
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">": lambda value, threshold: value > threshold,
+}
+
+#: Packets lost/dropped in one window before it counts as a loss burst.
+LOSS_BURST_MIN = 5
+
+#: Tier transitions in one window before it counts as thrash.
+TIER_THRASH_MIN = 2
+
+#: Consecutive rising windows before a queue series counts as buildup.
+QUEUE_BUILDUP_RUN = 3
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One interactivity objective over a windowed series.
+
+    Attributes:
+        name: Identifier (``keystroke_echo``).
+        metric: Series name to match; a key matches when it equals the
+            metric or is the metric plus a label suffix (``{...}``).
+        kind: How a window value is extracted — ``histogram_quantile``,
+            ``histogram_mean``, ``gauge``, ``counter_rate``, or
+            ``counter_delta`` (see :func:`repro.obs.timeseries.window_value`).
+        threshold: The objective; a window passes when
+            ``value op threshold`` holds.
+        op: Comparison direction (default ``<=``).
+        quantile: Quantile for ``histogram_quantile`` kinds.
+        budget: Error budget — the fraction of evaluated windows allowed
+            to violate while the SLO still counts as met.
+        event: Health-event kind emitted for violating windows.
+        description: One line for reports.
+    """
+
+    name: str
+    metric: str
+    kind: str
+    threshold: float
+    op: str = "<="
+    quantile: float = 0.95
+    budget: float = 0.05
+    event: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ReproError(f"unknown SLO op {self.op!r}")
+        if not 0.0 <= self.budget <= 1.0:
+            raise ReproError("SLO budget must be a fraction in [0, 1]")
+
+    def matches(self, series_key: str) -> bool:
+        return series_key == self.metric or series_key.startswith(
+            self.metric + "{"
+        )
+
+    def passes(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "op": self.op,
+            "quantile": self.quantile,
+            "budget": self.budget,
+            "description": self.description,
+        }
+
+
+#: Keystroke echo: the network yardstick's round trip (64 B up, 1200 B
+#: down) must sit within the paper's 150 ms human think-time cadence at
+#: p95 per window (Section 6.2 / Figure 11).
+KEYSTROKE_ECHO = SloSpec(
+    name="keystroke_echo",
+    metric="net.yardstick.rtt_seconds",
+    kind="histogram_quantile",
+    quantile=0.95,
+    threshold=0.150,
+    op="<=",
+    budget=0.05,
+    event="latency_spike",
+    description="yardstick RTT p95 within the 150 ms interactive cadence",
+)
+
+#: Video holds a watchable rate: >= 20 fps per window (the paper's
+#: quarter-size clips run at full 24 fps on the LAN, Section 6.3).
+VIDEO_FRAME_RATE = SloSpec(
+    name="video_frame_rate",
+    metric="video.frames_sent",
+    kind="counter_rate",
+    threshold=20.0,
+    op=">=",
+    budget=0.10,
+    event="frame_rate_drop",
+    description="video stream sustains >= 20 frames/s per window",
+)
+
+#: Post-loss recovery completes within two think-time cadences — the
+#: NACK round trip plus re-encode must not outlast the user's attention.
+LOSS_RECOVERY = SloSpec(
+    name="loss_recovery",
+    metric="transport.channel.recovery_latency_seconds",
+    kind="histogram_quantile",
+    quantile=0.95,
+    threshold=0.300,
+    op="<=",
+    budget=0.05,
+    event="slow_recovery",
+    description="loss recovery p95 within 300 ms (two 150 ms cadences)",
+)
+
+#: Bandwidth-tier residency: the adaptive allocator may degrade, but a
+#: session parked at thumbnail (tier level 2) in more than a quarter of
+#: windows has lost the graceful-degradation argument.
+TIER_RESIDENCY = SloSpec(
+    name="tier_residency",
+    metric="bw.tier.level",
+    kind="gauge",
+    threshold=1.0,
+    op="<=",
+    budget=0.25,
+    event="tier_floor",
+    description="sessions stay at full/progressive fidelity "
+    "(tier level <= 1) in >= 75% of windows",
+)
+
+#: The paper-grounded default set.
+INTERACTIVITY_SLOS: Tuple[SloSpec, ...] = (
+    KEYSTROKE_ECHO,
+    VIDEO_FRAME_RATE,
+    LOSS_RECOVERY,
+    TIER_RESIDENCY,
+)
+
+
+@dataclass
+class SloResult:
+    """One (run, spec, series) evaluation."""
+
+    run: str
+    spec: str
+    series: str
+    windows: int
+    violations: int
+    budget: float
+    burn: float
+    compliant: bool
+    worst: Optional[Dict[str, float]] = None
+
+    @property
+    def ok_windows(self) -> int:
+        return self.windows - self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "type": "slo",
+            "run": self.run,
+            "spec": self.spec,
+            "series": self.series,
+            "windows": self.windows,
+            "violations": self.violations,
+            "budget": self.budget,
+            "burn": round(self.burn, 3) if self.burn != float("inf") else "inf",
+            "compliant": self.compliant,
+        }
+        if self.worst is not None:
+            out["worst"] = self.worst
+        return out
+
+
+@dataclass
+class HealthEvent:
+    """One structured health event, trace-annotated."""
+
+    kind: str
+    run: str
+    series: str
+    t0: float
+    t1: float
+    value: float
+    threshold: float
+    trace_ids: List[int] = field(default_factory=list)
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "event",
+            "kind": self.kind,
+            "run": self.run,
+            "series": self.series,
+            "t0": self.t0,
+            "t1": self.t1,
+            "value": self.value,
+            "threshold": self.threshold,
+            "trace_ids": list(self.trace_ids),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SloReport:
+    """Everything one evaluation produced."""
+
+    specs: List[SloSpec]
+    results: List[SloResult] = field(default_factory=list)
+    events: List[HealthEvent] = field(default_factory=list)
+
+    # -- lookups -----------------------------------------------------------
+    def for_run(self, run_label: str) -> List[SloResult]:
+        return [r for r in self.results if r.run == run_label]
+
+    def compliance(
+        self, run_label: str, spec_name: str
+    ) -> Optional[SloResult]:
+        """The worst (highest-burn) matching result, or None when the
+        run produced no data for the spec."""
+        matching = [
+            r
+            for r in self.results
+            if r.run == run_label and r.spec == spec_name
+        ]
+        if not matching:
+            return None
+        return max(matching, key=lambda r: r.burn)
+
+    @property
+    def compliant(self) -> bool:
+        return all(r.compliant for r in self.results)
+
+    # -- serialization -----------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = [
+            {
+                "type": "slo_header",
+                "version": SLO_SCHEMA_VERSION,
+                "specs": [spec.to_dict() for spec in self.specs],
+            }
+        ]
+        records.extend(result.to_dict() for result in self.results)
+        records.extend(event.to_dict() for event in self.events)
+        return records
+
+    def write_jsonl(self, path_or_file: Union[str, IO[str]]) -> int:
+        records = self.to_records()
+        if hasattr(path_or_file, "write"):
+            for record in records:
+                path_or_file.write(json.dumps(record) + "\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(json.dumps(record) + "\n")
+        return len(records)
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, title: str = "interactivity SLO report") -> str:
+        lines = [title, "=" * len(title)]
+        if not self.results:
+            lines.append("  (no matching series — nothing to evaluate)")
+        width = max((len(r.run) for r in self.results), default=8)
+        for result in self.results:
+            burn = (
+                "inf" if result.burn == float("inf") else f"{result.burn:.2f}"
+            )
+            status = "ok  " if result.compliant else "VIOL"
+            worst = ""
+            if result.worst is not None and not result.compliant:
+                worst = (
+                    f"  worst {result.worst['value']:.4g}"
+                    f" @ t={result.worst['t0']:g}s"
+                )
+            lines.append(
+                f"  {status} {result.run:<{width}} {result.spec:<16} "
+                f"{result.ok_windows}/{result.windows} windows ok, "
+                f"budget burn {burn}{worst}"
+            )
+        if self.events:
+            lines.append("")
+            lines.append(f"health events ({len(self.events)}):")
+            for event in self.events:
+                traces = (
+                    f" traces {event.trace_ids}" if event.trace_ids else ""
+                )
+                lines.append(
+                    f"  {event.kind:<16} {event.run} "
+                    f"[{event.t0:g}s..{event.t1:g}s] {event.series} "
+                    f"= {event.value:.4g} (threshold {event.threshold:g})"
+                    f"{traces}"
+                )
+        return "\n".join(lines)
+
+
+class SloEngine:
+    """Evaluates a spec set against windowed runs."""
+
+    def __init__(self, specs: Sequence[SloSpec] = INTERACTIVITY_SLOS) -> None:
+        self.specs = list(specs)
+
+    def evaluate(
+        self,
+        source: Union[TimeSeriesCollection, Iterable[RunSeries]],
+    ) -> SloReport:
+        runs = (
+            source.runs
+            if isinstance(source, TimeSeriesCollection)
+            else list(source)
+        )
+        report = SloReport(specs=self.specs)
+        for run in runs:
+            keys = run.series_keys()
+            for spec in self.specs:
+                for key in keys:
+                    if spec.matches(key):
+                        self._evaluate_series(report, run, spec, key)
+            self._detect_loss_bursts(report, run, keys)
+            self._detect_tier_thrash(report, run, keys)
+            self._detect_queue_buildup(report, run, keys)
+        return report
+
+    # -- per-spec evaluation -----------------------------------------------
+    def _evaluate_series(
+        self, report: SloReport, run: RunSeries, spec: SloSpec, key: str
+    ) -> None:
+        windows = 0
+        violations = 0
+        worst: Optional[Dict[str, float]] = None
+        open_event: Optional[HealthEvent] = None
+        for record in run.windows:
+            value = window_value(record, key, spec.kind, spec.quantile)
+            if value is None:
+                continue
+            windows += 1
+            if spec.passes(value):
+                open_event = None
+                continue
+            violations += 1
+            if worst is None or _more_violating(spec, value, worst["value"]):
+                worst = {"t0": record["t0"], "value": value}
+            trace_ids = list(record.get("trace_ids", ()))
+            if (
+                open_event is not None
+                and record["t0"] <= open_event.t1 + 1e-9
+            ):
+                # Contiguous violation: extend the open event.
+                open_event.t1 = record["t1"]
+                if _more_violating(spec, value, open_event.value):
+                    open_event.value = value
+                open_event.trace_ids = sorted(
+                    set(open_event.trace_ids) | set(trace_ids)
+                )
+            else:
+                open_event = HealthEvent(
+                    kind=spec.event or f"{spec.name}_violation",
+                    run=run.label,
+                    series=key,
+                    t0=record["t0"],
+                    t1=record["t1"],
+                    value=value,
+                    threshold=spec.threshold,
+                    trace_ids=trace_ids,
+                    detail=spec.description,
+                )
+                report.events.append(open_event)
+        if windows == 0:
+            return
+        allowed = spec.budget * windows
+        if allowed > 0:
+            burn = violations / allowed
+        else:
+            burn = float("inf") if violations else 0.0
+        report.results.append(
+            SloResult(
+                run=run.label,
+                spec=spec.name,
+                series=key,
+                windows=windows,
+                violations=violations,
+                budget=spec.budget,
+                burn=burn,
+                compliant=violations <= allowed,
+                worst=worst,
+            )
+        )
+
+    # -- built-in detectors (independent of the spec set) ------------------
+    def _detect_loss_bursts(
+        self, report: SloReport, run: RunSeries, keys: Dict[str, str]
+    ) -> None:
+        loss_keys = [
+            key
+            for key, family in keys.items()
+            if family == "counter"
+            and (
+                key.startswith("net.link.packets_lost")
+                or key.startswith("net.link.packets_dropped")
+            )
+        ]
+        for key in loss_keys:
+            for record in run.windows:
+                delta = record.get("counters", {}).get(key, 0)
+                if delta >= LOSS_BURST_MIN:
+                    report.events.append(
+                        HealthEvent(
+                            kind="loss_burst",
+                            run=run.label,
+                            series=key,
+                            t0=record["t0"],
+                            t1=record["t1"],
+                            value=float(delta),
+                            threshold=float(LOSS_BURST_MIN),
+                            trace_ids=list(record.get("trace_ids", ())),
+                            detail=f"{delta} packets lost/dropped in one window",
+                        )
+                    )
+
+    def _detect_tier_thrash(
+        self, report: SloReport, run: RunSeries, keys: Dict[str, str]
+    ) -> None:
+        thrash_keys = [
+            key
+            for key, family in keys.items()
+            if family == "counter" and key.startswith("bw.tier.transitions")
+        ]
+        if not thrash_keys:
+            return
+        for record in run.windows:
+            counters = record.get("counters", {})
+            total = sum(counters.get(key, 0) for key in thrash_keys)
+            if total >= TIER_THRASH_MIN:
+                report.events.append(
+                    HealthEvent(
+                        kind="tier_thrash",
+                        run=run.label,
+                        series="bw.tier.transitions",
+                        t0=record["t0"],
+                        t1=record["t1"],
+                        value=float(total),
+                        threshold=float(TIER_THRASH_MIN),
+                        trace_ids=list(record.get("trace_ids", ())),
+                        detail=f"{total} tier transitions in one window",
+                    )
+                )
+
+    def _detect_queue_buildup(
+        self, report: SloReport, run: RunSeries, keys: Dict[str, str]
+    ) -> None:
+        for key, family in keys.items():
+            if "queue" not in key:
+                continue
+            kind = "gauge" if family == "gauge" else "histogram_mean"
+            values = run.values(key, kind)
+            rising = 1
+            for index in range(1, len(values)):
+                if values[index][1] > values[index - 1][1]:
+                    rising += 1
+                    if rising == QUEUE_BUILDUP_RUN and values[index][1] > 0:
+                        start = values[index - QUEUE_BUILDUP_RUN + 1]
+                        report.events.append(
+                            HealthEvent(
+                                kind="queue_buildup",
+                                run=run.label,
+                                series=key,
+                                t0=start[0],
+                                t1=values[index][0],
+                                value=values[index][1],
+                                threshold=start[1],
+                                detail=(
+                                    f"monotonic rise over "
+                                    f"{QUEUE_BUILDUP_RUN} windows"
+                                ),
+                            )
+                        )
+                else:
+                    rising = 1
+
+
+def _more_violating(spec: SloSpec, value: float, reference: float) -> bool:
+    """Is ``value`` a worse violation than ``reference`` for this spec?"""
+    if spec.op in ("<=", "<"):
+        return value > reference
+    return value < reference
+
+
+def validate_slo_records(records: Sequence[Dict[str, Any]]) -> None:
+    """Schema-check an SLO record stream (CI smoke / ``--validate``)."""
+    if not records:
+        raise ReproError("empty SLO stream")
+    header = records[0]
+    if header.get("type") != "slo_header":
+        raise ReproError("first record must be the slo header")
+    if header.get("version") != SLO_SCHEMA_VERSION:
+        raise ReproError(f"unsupported SLO schema version {header.get('version')!r}")
+    if not isinstance(header.get("specs"), list):
+        raise ReproError("slo header must carry a spec list")
+    for index, record in enumerate(records[1:], start=1):
+        rtype = record.get("type")
+        if rtype == "slo":
+            for key in ("run", "spec", "series", "windows", "violations"):
+                if key not in record:
+                    raise ReproError(f"record {index}: slo missing {key!r}")
+            if not isinstance(record.get("compliant"), bool):
+                raise ReproError(f"record {index}: slo missing compliant flag")
+        elif rtype == "event":
+            for key in ("kind", "run", "series", "t0", "t1", "trace_ids"):
+                if key not in record:
+                    raise ReproError(f"record {index}: event missing {key!r}")
+        else:
+            raise ReproError(f"record {index}: unknown record type {rtype!r}")

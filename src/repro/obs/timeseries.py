@@ -1,0 +1,751 @@
+"""Windowed time-series telemetry: the registry rolled up over sim time.
+
+The telemetry layer (:mod:`repro.telemetry.metrics`) answers "what
+happened over the whole run"; the paper's thesis is about what the user
+experiences *second by second* — a diurnal fleet run can spend an hour
+in SLO-violating territory and still print a healthy aggregate.  This
+module samples the active registry from the engine's monitor hook
+(:func:`repro.netsim.engine.set_default_monitor`, the same seam
+``repro.perf.progress`` uses) and rolls it into sim-time windows:
+
+* **counters** become per-window deltas (so a rate is ``delta / width``);
+* **gauges** keep their last value, recorded only when it changed (a
+  reader forward-fills across unstored windows);
+* **histograms** become per-window ``count``/``sum`` deltas plus
+  bucket-count deltas, from which *windowed* quantiles are computed by
+  linear interpolation (:func:`bucket_quantile`).  Histograms without
+  buckets get count/sum/mean only — the P² estimators are cumulative
+  state and cannot be windowed or merged.
+
+Memory is bounded: a run past ``max_windows`` coalesces adjacent window
+pairs (deltas sum, widths double), so an 86400 s fleet day at 1 s
+windows degrades resolution instead of growing without bound.  Windows
+with no activity are not stored at all — ``t0``/``t1`` on each record
+keep the timeline unambiguous.
+
+Each window also snapshots the *open* trace ids from the installed
+:class:`~repro.obs.causal.TraceCollector` (in-flight messages and
+yardstick probes), which is how ``repro.obs.slo`` annotates health
+events with the causal traces that were active when things went wrong.
+
+Per-shard series from :class:`~repro.netsim.sharded.ShardedBackend`
+workers are gathered at the ``collect()`` barrier and merged with
+:func:`merge_runs` — counter and bucket deltas sum window-by-window, so
+a fleet run gets one coherent timeline.
+
+The JSONL schema (one object per line)::
+
+    {"type": "timeseries_header", "version": 1, "window_seconds": 1.0}
+    {"type": "run", "run": 0, "label": "cellular/Netscape/static",
+     "window_seconds": 1.0}
+    {"type": "window", "run": 0, "t0": 3.0, "t1": 4.0,
+     "counters": {"net.link.packets_lost{link=down:console}": 3},
+     "gauges": {"bw.tier.level{client=1}": 1},
+     "histograms": {"net.yardstick.rtt_seconds":
+         {"count": 4, "sum": 1.9, "buckets": [[0.002, 0], ...]}},
+     "trace_ids": [17]}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.netsim.engine import set_default_monitor
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_WINDOW",
+    "DEFAULT_MAX_WINDOWS",
+    "RunSeries",
+    "TimeSeriesCollection",
+    "TimeSeriesSampler",
+    "attach_sampler",
+    "collect_timeseries",
+    "active_collection",
+    "merge_runs",
+    "bucket_quantile",
+    "window_value",
+    "validate_timeseries_records",
+]
+
+#: Schema version stamped into the JSONL header.
+SCHEMA_VERSION = 1
+
+#: Default window width, simulated seconds.
+DEFAULT_WINDOW = 1.0
+
+#: Windows kept per run before adjacent pairs coalesce (widths double).
+DEFAULT_MAX_WINDOWS = 512
+
+#: Engine-monitor callback granularity, events.  Window edges are
+#: detected at this granularity, so it is deliberately finer than the
+#: progress monitor's 5000.
+SAMPLER_EVERY = 512
+
+#: Open trace ids recorded per window (annotation, not a full trace).
+MAX_TRACE_IDS = 8
+
+
+def bucket_quantile(
+    buckets: Sequence[Sequence[float]], q: float
+) -> Optional[float]:
+    """Quantile ``q`` from (upper_bound, count) pairs, by linear
+    interpolation within the containing bucket.
+
+    The final bound may be +inf (the overflow bucket); a quantile
+    landing there returns the last finite bound — a conservative
+    underestimate, flagged to callers by equality with that bound.
+    Returns None when the buckets hold no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ReproError(f"quantile must be in [0, 1], got {q}")
+    total = sum(count for _bound, count in buckets)
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    previous_bound = 0.0
+    last_finite = 0.0
+    for bound, count in buckets:
+        if count > 0 and cumulative + count >= target:
+            if math.isinf(bound):
+                return last_finite
+            fraction = (target - cumulative) / count if count else 0.0
+            return previous_bound + fraction * (bound - previous_bound)
+        cumulative += count
+        if not math.isinf(bound):
+            previous_bound = bound
+            last_finite = bound
+    return last_finite
+
+
+def window_value(
+    window: Dict[str, Any],
+    key: str,
+    kind: str,
+    quantile: float = 0.95,
+) -> Optional[float]:
+    """Extract one series value from a stored window record.
+
+    ``kind`` is one of ``counter_rate`` (delta / width),
+    ``counter_delta``, ``gauge``, ``histogram_quantile`` (windowed, from
+    bucket deltas; falls back to the windowed mean for bucketless
+    histograms), or ``histogram_mean``.  Returns None when the window
+    carries no data for the series.
+    """
+    if kind in ("counter_rate", "counter_delta"):
+        delta = window.get("counters", {}).get(key)
+        if delta is None:
+            return None
+        if kind == "counter_delta":
+            return float(delta)
+        width = window["t1"] - window["t0"]
+        return float(delta) / width if width > 0 else None
+    if kind == "gauge":
+        value = window.get("gauges", {}).get(key)
+        return None if value is None else float(value)
+    if kind in ("histogram_quantile", "histogram_mean"):
+        hist = window.get("histograms", {}).get(key)
+        if hist is None or not hist.get("count"):
+            return None
+        if kind == "histogram_quantile" and hist.get("buckets"):
+            return bucket_quantile(hist["buckets"], quantile)
+        return hist["sum"] / hist["count"]
+    raise ReproError(f"unknown series kind {kind!r}")
+
+
+class RunSeries:
+    """One simulator's windowed timeline.
+
+    ``window`` is the *current* width — it doubles every time the run
+    coalesces past ``max_windows``.  Stored windows each carry their own
+    ``t0``/``t1``, so readers never need the width to interpret them.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        window: float = DEFAULT_WINDOW,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ) -> None:
+        if window <= 0:
+            raise ReproError(f"window width must be positive, got {window}")
+        if max_windows < 4:
+            raise ReproError("max_windows must be at least 4")
+        self.label = label
+        self.window = float(window)
+        self.max_windows = int(max_windows)
+        self.windows: List[Dict[str, Any]] = []
+        self.coalesce_count = 0
+
+    def append_window(self, record: Dict[str, Any]) -> None:
+        """Store one window record, coalescing when over budget."""
+        self.windows.append(record)
+        if len(self.windows) > self.max_windows:
+            self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Merge adjacent window pairs; the nominal width doubles."""
+        merged: List[Dict[str, Any]] = []
+        pending: Optional[Dict[str, Any]] = None
+        for record in self.windows:
+            if pending is None:
+                pending = record
+                continue
+            merged.append(_merge_window_pair(pending, record))
+            pending = None
+        if pending is not None:
+            merged.append(pending)
+        self.windows = merged
+        self.window *= 2
+        self.coalesce_count += 1
+
+    def rebinned(self, width: float) -> "RunSeries":
+        """A copy whose windows are re-binned to ``width``-aligned bins.
+
+        Used before merging runs whose coalescing histories diverged:
+        every window is assigned to the bin containing its ``t0`` and
+        bins are combined, so all runs share one grid.
+        """
+        if width < self.window - 1e-12:
+            raise ReproError(
+                f"cannot re-bin {self.window}s windows down to {width}s"
+            )
+        out = RunSeries(self.label, width, self.max_windows)
+        bins: Dict[int, Dict[str, Any]] = {}
+        for record in self.windows:
+            index = int(math.floor(record["t0"] / width + 1e-9))
+            aligned = dict(record, t0=index * width, t1=(index + 1) * width)
+            existing = bins.get(index)
+            bins[index] = (
+                aligned
+                if existing is None
+                else _merge_window_pair(existing, aligned)
+            )
+        out.windows = [bins[index] for index in sorted(bins)]
+        return out
+
+    def series_keys(self) -> Dict[str, str]:
+        """All series keys appearing in this run -> instrument family."""
+        keys: Dict[str, str] = {}
+        for record in self.windows:
+            for key in record.get("counters", {}):
+                keys.setdefault(key, "counter")
+            for key in record.get("gauges", {}):
+                keys.setdefault(key, "gauge")
+            for key in record.get("histograms", {}):
+                keys.setdefault(key, "histogram")
+        return keys
+
+    def values(
+        self, key: str, kind: str, quantile: float = 0.95
+    ) -> List[Any]:
+        """(t0, value) pairs over the stored windows carrying the series."""
+        out = []
+        for record in self.windows:
+            value = window_value(record, key, kind, quantile)
+            if value is not None:
+                out.append((record["t0"], value))
+        return out
+
+    @property
+    def span(self) -> float:
+        """Sim seconds covered, first stored window start to last end."""
+        if not self.windows:
+            return 0.0
+        return self.windows[-1]["t1"] - self.windows[0]["t0"]
+
+
+def _merge_window_pair(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Combine two window records into one covering both intervals.
+
+    Counter and histogram deltas sum; gauges keep the later value; trace
+    ids union (capped).  Works for adjacent windows (coalescing) and for
+    same-interval windows from different shards (merging) alike.
+    """
+    counters = dict(a.get("counters", {}))
+    for key, delta in b.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + delta
+    gauges = dict(a.get("gauges", {}))
+    gauges.update(b.get("gauges", {}))
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for source in (a, b):
+        for key, hist in source.get("histograms", {}).items():
+            current = histograms.get(key)
+            if current is None:
+                histograms[key] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "buckets": [list(pair) for pair in hist.get("buckets", [])],
+                }
+                continue
+            current["count"] += hist["count"]
+            current["sum"] += hist["sum"]
+            theirs = hist.get("buckets", [])
+            if current["buckets"] and len(current["buckets"]) == len(theirs):
+                for pair, other in zip(current["buckets"], theirs):
+                    pair[1] += other[1]
+            elif theirs and not current["buckets"]:
+                current["buckets"] = [list(pair) for pair in theirs]
+    trace_ids = sorted(
+        set(a.get("trace_ids", ())) | set(b.get("trace_ids", ()))
+    )[:MAX_TRACE_IDS]
+    merged: Dict[str, Any] = {
+        "t0": min(a["t0"], b["t0"]),
+        "t1": max(a["t1"], b["t1"]),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+    if trace_ids:
+        merged["trace_ids"] = trace_ids
+    return merged
+
+
+def merge_runs(runs: Sequence[RunSeries], label: str) -> RunSeries:
+    """Merge per-shard runs into one fleet-wide timeline.
+
+    All runs are re-binned onto the coarsest run's grid first (their
+    coalescing histories may differ), then same-bin windows combine:
+    counter/bucket deltas sum exactly, gauges keep the last shard's
+    value, windowed quantiles come from the summed bucket deltas.
+    """
+    if not runs:
+        raise ReproError("nothing to merge")
+    width = max(run.window for run in runs)
+    merged = RunSeries(label, width, max(run.max_windows for run in runs))
+    bins: Dict[int, Dict[str, Any]] = {}
+    for run in runs:
+        for record in run.rebinned(width).windows:
+            index = int(math.floor(record["t0"] / width + 1e-9))
+            existing = bins.get(index)
+            bins[index] = (
+                record
+                if existing is None
+                else _merge_window_pair(existing, record)
+            )
+    for index in sorted(bins):
+        merged.append_window(bins[index])
+    return merged
+
+
+class TimeSeriesCollection:
+    """All runs sampled in one session, plus the JSONL round trip."""
+
+    def __init__(
+        self,
+        window: float = DEFAULT_WINDOW,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window <= 0:
+            raise ReproError(f"window width must be positive, got {window}")
+        self.window = float(window)
+        self.max_windows = int(max_windows)
+        self.registry = registry
+        self.runs: List[RunSeries] = []
+        self._label: Optional[str] = None
+        self._auto = 0
+        self._samplers: List["TimeSeriesSampler"] = []
+
+    # -- sampler tracking --------------------------------------------------
+    def track_sampler(self, sampler: "TimeSeriesSampler") -> None:
+        """Register a sampler so :meth:`finish_samplers` can flush it."""
+        self._samplers.append(sampler)
+
+    def finish_samplers(self) -> None:
+        """Flush every tracked sampler's trailing partial window.
+
+        Safe to call mid-session (e.g. between experiment cells, so a
+        just-finished simulator's windows are all stored before an SLO
+        evaluation); sampling resumes afterwards for still-running sims.
+        """
+        for sampler in self._samplers:
+            sim = getattr(sampler, "_sim", None)
+            if sim is not None:
+                sampler.finish(sim.now)
+
+    # -- labeling ----------------------------------------------------------
+    def set_label(self, label: Optional[str]) -> None:
+        """Label given to the next sampled simulator(s); None reverts to
+        auto ``run-N`` labels."""
+        self._label = label
+
+    @contextmanager
+    def label(self, label: str):
+        """Scope a run label: simulators built inside get ``label``."""
+        previous = self._label
+        self.set_label(label)
+        try:
+            yield self
+        finally:
+            self.set_label(previous)
+
+    def next_label(self) -> str:
+        if self._label is not None:
+            return self._label
+        self._auto += 1
+        return f"run-{self._auto}"
+
+    # -- runs --------------------------------------------------------------
+    def new_run(self, label: Optional[str] = None) -> RunSeries:
+        run = RunSeries(
+            label if label is not None else self.next_label(),
+            window=self.window,
+            max_windows=self.max_windows,
+        )
+        self.runs.append(run)
+        return run
+
+    def adopt_run(self, run: RunSeries) -> None:
+        """Append an externally built run (merged shard series, derived
+        experiment timelines)."""
+        self.runs.append(run)
+
+    def prune_empty(self) -> int:
+        """Drop runs that stored no windows; returns how many."""
+        before = len(self.runs)
+        self.runs = [run for run in self.runs if run.windows]
+        return before - len(self.runs)
+
+    def run_by_label(self, label: str) -> Optional[RunSeries]:
+        for run in self.runs:
+            if run.label == label:
+                return run
+        return None
+
+    # -- JSONL round trip --------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = [
+            {
+                "type": "timeseries_header",
+                "version": SCHEMA_VERSION,
+                "window_seconds": self.window,
+                "runs": len(self.runs),
+            }
+        ]
+        for index, run in enumerate(self.runs):
+            records.append(
+                {
+                    "type": "run",
+                    "run": index,
+                    "label": run.label,
+                    "window_seconds": run.window,
+                    "windows": len(run.windows),
+                    "coalesced": run.coalesce_count,
+                }
+            )
+            for window in run.windows:
+                records.append(dict(window, type="window", run=index))
+        return records
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Dict[str, Any]]
+    ) -> "TimeSeriesCollection":
+        collection: Optional[TimeSeriesCollection] = None
+        runs: Dict[int, RunSeries] = {}
+        for record in records:
+            rtype = record.get("type")
+            if rtype == "timeseries_header":
+                collection = cls(window=record.get("window_seconds", DEFAULT_WINDOW))
+            elif rtype == "run":
+                if collection is None:
+                    raise ReproError("run record before timeseries header")
+                run = RunSeries(
+                    record["label"],
+                    window=record.get("window_seconds", collection.window),
+                )
+                runs[record["run"]] = run
+                collection.adopt_run(run)
+            elif rtype == "window":
+                try:
+                    run = runs[record["run"]]
+                except KeyError as exc:
+                    raise ReproError(
+                        f"window for undeclared run {record.get('run')!r}"
+                    ) from exc
+                window = {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("type", "run")
+                }
+                run.windows.append(window)
+        if collection is None:
+            raise ReproError("no timeseries header found")
+        return collection
+
+    def write_jsonl(self, path_or_file: Union[str, IO[str]]) -> int:
+        """Write the collection as JSONL; returns the record count."""
+        records = self.to_records()
+        if hasattr(path_or_file, "write"):
+            for record in records:
+                path_or_file.write(json.dumps(record) + "\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(json.dumps(record) + "\n")
+        return len(records)
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "TimeSeriesCollection":
+        with open(path, "r", encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        return cls.from_records(records)
+
+
+def validate_timeseries_records(records: Sequence[Dict[str, Any]]) -> None:
+    """Schema-check a record stream; raises :class:`ReproError` on the
+    first violation (used by the CI smoke job and ``--validate``)."""
+    if not records:
+        raise ReproError("empty timeseries stream")
+    header = records[0]
+    if header.get("type") != "timeseries_header":
+        raise ReproError("first record must be the timeseries header")
+    if header.get("version") != SCHEMA_VERSION:
+        raise ReproError(f"unsupported schema version {header.get('version')!r}")
+    declared_runs: set = set()
+    for index, record in enumerate(records[1:], start=1):
+        rtype = record.get("type")
+        if rtype == "run":
+            if not isinstance(record.get("label"), str):
+                raise ReproError(f"record {index}: run without a string label")
+            declared_runs.add(record.get("run"))
+        elif rtype == "window":
+            if record.get("run") not in declared_runs:
+                raise ReproError(f"record {index}: window for undeclared run")
+            t0, t1 = record.get("t0"), record.get("t1")
+            if not (isinstance(t0, (int, float)) and isinstance(t1, (int, float))):
+                raise ReproError(f"record {index}: window missing t0/t1")
+            if t1 <= t0:
+                raise ReproError(f"record {index}: window has t1 <= t0")
+            for family in ("counters", "gauges", "histograms"):
+                if not isinstance(record.get(family, {}), dict):
+                    raise ReproError(f"record {index}: {family} must be a mapping")
+            for key, hist in record.get("histograms", {}).items():
+                if "count" not in hist or "sum" not in hist:
+                    raise ReproError(
+                        f"record {index}: histogram {key} missing count/sum"
+                    )
+        elif rtype == "timeseries_header":
+            raise ReproError(f"record {index}: duplicate header")
+        else:
+            raise ReproError(f"record {index}: unknown record type {rtype!r}")
+
+
+# ---------------------------------------------------------------------------
+# The sampler (engine-monitor side)
+# ---------------------------------------------------------------------------
+
+
+class TimeSeriesSampler:
+    """Engine monitor that closes windows as sim time crosses boundaries.
+
+    Chains an inner monitor (e.g. the live progress line) so both share
+    the simulator's single monitor slot.  Window edges are detected at
+    the monitor granularity (:data:`SAMPLER_EVERY` events), so a
+    counter's delta can lag its boundary by a few hundred events — the
+    documented trade for keeping the per-event hot path untouched.
+    """
+
+    def __init__(
+        self,
+        run: RunSeries,
+        registry: Optional[MetricsRegistry] = None,
+        chain: Optional[Callable] = None,
+    ) -> None:
+        self.run = run
+        self.registry = registry if registry is not None else get_registry()
+        self.chain = chain
+        self.every = SAMPLER_EVERY
+        if chain is not None:
+            self.every = min(self.every, getattr(chain, "every", self.every))
+        self._window_start = 0.0
+        self._boundary = run.window
+        self._last_counters: Dict[str, float] = {}
+        self._last_gauges: Dict[str, float] = {}
+        self._last_hists: Dict[str, Any] = {}
+
+    # -- engine callback ---------------------------------------------------
+    def __call__(self, sim) -> None:
+        if self.chain is not None:
+            self.chain(sim)
+        now = sim.now
+        while now >= self._boundary:
+            self._close_window(self._boundary)
+
+    def finish(self, now: float) -> None:
+        """Close any partial trailing window.
+
+        Idempotent at a given ``now`` (the second call finds
+        ``_window_start == now`` and stores nothing), and safe to call
+        at every shard collect barrier — sampling continues afterwards
+        from a fresh window starting at ``now``.
+        """
+        while now >= self._boundary:
+            self._close_window(self._boundary)
+        if now > self._window_start:
+            self._close_window(now)
+
+    # -- window bookkeeping ------------------------------------------------
+    def _close_window(self, edge: float) -> None:
+        registry = self.registry
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        if registry.enabled:
+            for inst in registry.collect(""):
+                key = inst.name + inst.label_str()
+                kind = inst.kind
+                if kind == "counter":
+                    delta = inst.value - self._last_counters.get(key, 0)
+                    self._last_counters[key] = inst.value
+                    if delta:
+                        counters[key] = delta
+                elif kind == "gauge":
+                    if self._last_gauges.get(key) != inst.value:
+                        self._last_gauges[key] = inst.value
+                        gauges[key] = inst.value
+                elif kind == "histogram":
+                    last_count, last_sum, last_buckets = self._last_hists.get(
+                        key, (0, 0.0, None)
+                    )
+                    delta_count = inst.count - last_count
+                    if delta_count:
+                        buckets = []
+                        if inst.bucket_bounds is not None:
+                            bounds = list(inst.bucket_bounds) + [float("inf")]
+                            current = list(inst.bucket_counts)
+                            previous = last_buckets or [0] * len(current)
+                            buckets = [
+                                [bound, now_c - then_c]
+                                for bound, now_c, then_c in zip(
+                                    bounds, current, previous
+                                )
+                            ]
+                        histograms[key] = {
+                            "count": delta_count,
+                            "sum": inst.sum - last_sum,
+                            "buckets": buckets,
+                        }
+                    self._last_hists[key] = (
+                        inst.count,
+                        inst.sum,
+                        list(inst.bucket_counts)
+                        if inst.bucket_bounds is not None
+                        else None,
+                    )
+        if counters or gauges or histograms:
+            record: Dict[str, Any] = {
+                "t0": self._window_start,
+                "t1": edge,
+                "counters": counters,
+                "gauges": gauges,
+                "histograms": histograms,
+            }
+            trace_ids = _open_trace_ids()
+            if trace_ids:
+                record["trace_ids"] = trace_ids
+            self.run.append_window(record)
+        self._window_start = edge
+        # The run's width may have doubled while appending (coalescing).
+        self._boundary = edge + self.run.window
+
+
+def _open_trace_ids() -> List[int]:
+    """Trace ids currently in flight in the installed tracer, if any."""
+    from repro.obs.context import get_obs
+
+    obs = get_obs()
+    tracer = obs.tracer if obs is not None else None
+    if tracer is None:
+        return []
+    open_ids = getattr(tracer, "open_trace_ids", None)
+    if open_ids is None:
+        return []
+    return list(open_ids())[:MAX_TRACE_IDS]
+
+
+def attach_sampler(
+    sim,
+    run: RunSeries,
+    registry: Optional[MetricsRegistry] = None,
+    chain: Optional[Callable] = None,
+) -> TimeSeriesSampler:
+    """Install a sampler as ``sim``'s monitor (explicit wiring — the
+    :func:`collect_timeseries` factory does this for every simulator)."""
+    sampler = TimeSeriesSampler(run, registry=registry, chain=chain)
+    sim.set_monitor(sampler)
+    return sampler
+
+
+# ---------------------------------------------------------------------------
+# Process-global collection (the runner/CLI seam)
+# ---------------------------------------------------------------------------
+
+_active: Optional[TimeSeriesCollection] = None
+
+
+def active_collection() -> Optional[TimeSeriesCollection]:
+    """The collection installed by :func:`collect_timeseries`, or None.
+
+    Shard workers inherit this through ``fork`` and use it as the signal
+    to sample their own engines (with worker-local collections gathered
+    at the collect barrier)."""
+    return _active
+
+
+@contextmanager
+def collect_timeseries(
+    collection: Optional[TimeSeriesCollection] = None,
+    window: float = DEFAULT_WINDOW,
+    max_windows: int = DEFAULT_MAX_WINDOWS,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Sample every simulator built inside the block into one collection.
+
+    Nests: when a collection is already active and none is passed, the
+    outer one is reused and nothing is re-installed — an experiment can
+    wrap its own cells in ``collect_timeseries()`` and compose with the
+    runner's ``--timeseries`` flag.  The monitor factory chains any
+    previously installed factory (e.g. ``live_progress``), so both hooks
+    run off the simulator's single monitor slot.
+    """
+    global _active
+    if collection is None and _active is not None:
+        yield _active
+        return
+    if collection is None:
+        collection = TimeSeriesCollection(
+            window=window, max_windows=max_windows, registry=registry
+        )
+    elif registry is not None and collection.registry is None:
+        collection.registry = registry
+    previous_factory = set_default_monitor(None)
+
+    def factory(sim) -> TimeSeriesSampler:
+        chain = previous_factory(sim) if previous_factory is not None else None
+        sampler = TimeSeriesSampler(
+            collection.new_run(),
+            registry=collection.registry,
+            chain=chain,
+        )
+        sampler._sim = sim
+        collection.track_sampler(sampler)
+        return sampler
+
+    set_default_monitor(factory)
+    previous_active = _active
+    _active = collection
+    try:
+        yield collection
+    finally:
+        _active = previous_active
+        set_default_monitor(previous_factory)
+        collection.finish_samplers()
+        collection.prune_empty()

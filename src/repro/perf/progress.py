@@ -28,7 +28,12 @@ from repro.netsim.backend import SimulationBackend
 from repro.netsim.engine import set_default_monitor
 from repro.telemetry.metrics import get_registry
 
-__all__ = ["ProgressMonitor", "live_progress"]
+__all__ = [
+    "DashboardMonitor",
+    "ProgressMonitor",
+    "live_dashboard",
+    "live_progress",
+]
 
 #: Telemetry counters summed into the "drops" readout.
 DROP_COUNTER_PREFIXES = (
@@ -37,8 +42,43 @@ DROP_COUNTER_PREFIXES = (
     "net.link.packets_lost",
 )
 
+#: EMA smoothing for the windowed sim-rate readout: heavy enough to
+#: follow diurnal load swings within a few repaints, light enough not
+#: to jitter on one odd window.
+SIM_RATE_ALPHA = 0.4
+
+
+class _DropCounterCache:
+    """Cached handles to the drop-counter instruments.
+
+    ``registry.collect(prefix)`` walks every instrument; on a fleet run
+    the registry holds thousands (per-console, per-link labels), so
+    rescanning on every repaint turns the status line into a hot path.
+    Instrument handles are stable once created, so the scan only needs
+    to rerun when the registry changed identity or grew.
+    """
+
+    def __init__(self) -> None:
+        self._key: Optional[tuple] = None
+        self._instruments: List = []
+
+    def total(self) -> int:
+        registry = get_registry()
+        if not registry.enabled:
+            return 0
+        key = (id(registry), len(registry))
+        if key != self._key:
+            self._key = key
+            self._instruments = [
+                inst
+                for prefix in DROP_COUNTER_PREFIXES
+                for inst in registry.collect(prefix)
+            ]
+        return sum(int(inst.value) for inst in self._instruments)
+
 
 def _registry_drops() -> int:
+    """Uncached scan (kept for one-shot callers and tests)."""
     registry = get_registry()
     if not registry.enabled:
         return 0
@@ -86,6 +126,9 @@ class ProgressMonitor:
         self._last_paint = 0.0
         self._last_events = 0
         self._last_wall = self._started
+        self._last_sim_now = 0.0
+        self._sim_rate: Optional[float] = None
+        self._drop_cache = _DropCounterCache()
         self._dirty = False
 
     # -- engine callback ----------------------------------------------------
@@ -95,36 +138,51 @@ class ProgressMonitor:
             return
         self.paint(sim, now)
 
-    def paint(self, sim: SimulationBackend, now: Optional[float] = None) -> None:
-        """Repaint unconditionally (the rate limit lives in __call__)."""
-        now = time.perf_counter() if now is None else now
+    def _status_fields(self, sim: SimulationBackend, now: float) -> List[str]:
+        """Compute the health fields and roll the windowed state forward."""
         window = now - self._last_wall
         events_per_sec = (
             (sim.events_processed - self._last_events) / window
             if window > 0
             else 0.0
         )
-        elapsed = now - self._started
-        sim_rate = sim.now / elapsed if elapsed > 0 else 0.0
+        # Windowed sim-rate (EMA over repaint windows), not the lifetime
+        # average: during a diurnal swing the lifetime figure can be 10x
+        # off current throughput and the ETA with it.
+        if window > 0:
+            instant = (sim.now - self._last_sim_now) / window
+            self._sim_rate = (
+                instant
+                if self._sim_rate is None
+                else self._sim_rate + SIM_RATE_ALPHA * (instant - self._sim_rate)
+            )
+        sim_rate = self._sim_rate if self._sim_rate is not None else 0.0
         fields = [
             f"sim {sim.now:.2f}s",
             f"{sim.events_processed:,} events",
             f"{_fmt_rate(events_per_sec)} ev/s",
             f"{sim_rate:.1f} sim-s/s",
         ]
-        drops = _registry_drops()
+        drops = self._drop_cache.total()
         if drops:
             fields.append(f"drops {drops:,}")
         eta = self.eta_seconds(sim.now, sim_rate)
         if eta is not None:
             fields.append(f"eta {int(eta // 60)}:{int(eta % 60):02d}")
-        self.stream.write("\r" + " | ".join(fields) + "\x1b[K")
-        self.stream.flush()
         self.updates_painted += 1
-        self._dirty = True
         self._last_paint = now
         self._last_events = sim.events_processed
+        self._last_sim_now = sim.now
         self._last_wall = now
+        return fields
+
+    def paint(self, sim: SimulationBackend, now: Optional[float] = None) -> None:
+        """Repaint unconditionally (the rate limit lives in __call__)."""
+        now = time.perf_counter() if now is None else now
+        fields = self._status_fields(sim, now)
+        self.stream.write("\r" + " | ".join(fields) + "\x1b[K")
+        self.stream.flush()
+        self._dirty = True
 
     def eta_seconds(
         self, sim_now: float, sim_rate: float
@@ -154,6 +212,140 @@ def live_progress(
 
     def factory(_sim: SimulationBackend) -> ProgressMonitor:
         monitor = ProgressMonitor(
+            target_sim_seconds=target_sim_seconds,
+            stream=stream,
+            min_interval=min_interval,
+        )
+        monitors.append(monitor)
+        return monitor
+
+    previous = set_default_monitor(factory)
+    try:
+        yield monitors
+    finally:
+        set_default_monitor(previous)
+        for monitor in monitors:
+            monitor.finish()
+
+
+class DashboardMonitor(ProgressMonitor):
+    """The status line grown into an updating multi-line mini-dashboard.
+
+    On every repaint the health line is followed by one sparkline row
+    per busy telemetry series, read from the active time-series
+    collection (:func:`repro.obs.timeseries.collect_timeseries`).  The
+    block repaints in place with cursor-up ANSI sequences, so a long
+    fleet run shows a rolling live picture instead of a silent stretch.
+
+    Args:
+        collection: The :class:`~repro.obs.timeseries.TimeSeriesCollection`
+            to render; defaults to the active one at each repaint.
+        max_series: Sparkline rows shown (busiest series first).
+        width: Sparkline width in characters.
+    """
+
+    def __init__(
+        self,
+        collection=None,
+        max_series: int = 6,
+        width: int = 48,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.collection = collection
+        self.max_series = max_series
+        self.width = width
+        self._lines_painted = 0
+
+    def _series_rows(self) -> List[str]:
+        from repro.analysis.textplot import render_sparkline
+        from repro.obs.timeseries import active_collection
+
+        collection = (
+            self.collection
+            if self.collection is not None
+            else active_collection()
+        )
+        if collection is None or not collection.runs:
+            return []
+        run = max(collection.runs, key=lambda r: len(r.windows))
+        if not run.windows:
+            return []
+        keys = run.series_keys()
+        # Busiest series first: the ones present in the most windows.
+        coverage = {
+            key: sum(
+                1
+                for record in run.windows
+                if key in record.get(family + "s", {})
+            )
+            for key, family in keys.items()
+        }
+        chosen = sorted(coverage, key=lambda k: (-coverage[k], k))
+        chosen = chosen[: self.max_series]
+        kind_of = {
+            "counter": "counter_rate",
+            "gauge": "gauge",
+            "histogram": "histogram_mean",
+        }
+        label_width = max((len(key) for key in chosen), default=0)
+        label_width = min(label_width, 44)
+        rows = []
+        for key in chosen:
+            points = run.values(key, kind_of[keys[key]])
+            if not points:
+                continue
+            values = [value for _t, value in points]
+            label = key if len(key) <= 44 else key[:41] + "..."
+            rows.append(
+                f"  {label:<{label_width}} "
+                f"|{render_sparkline(values, self.width)}| "
+                f"{values[-1]:.4g}"
+            )
+        return rows
+
+    def paint(self, sim: SimulationBackend, now: Optional[float] = None) -> None:
+        now = time.perf_counter() if now is None else now
+        lines = [" | ".join(self._status_fields(sim, now))]
+        lines.extend(self._series_rows())
+        out = []
+        if self._lines_painted:
+            # Back to the top of the previously painted block.
+            out.append(f"\x1b[{self._lines_painted}F")
+        out.extend(line + "\x1b[K\n" for line in lines)
+        # A shrinking block leaves stale rows behind; blank them out.
+        for _ in range(self._lines_painted - len(lines)):
+            out.append("\x1b[K\n")
+        self.stream.write("".join(out))
+        self.stream.flush()
+        self._lines_painted = max(self._lines_painted, len(lines))
+        self._dirty = True
+
+    def finish(self) -> None:
+        # Every repaint ends below the block on its own line already.
+        self._dirty = False
+
+
+@contextmanager
+def live_dashboard(
+    collection=None,
+    target_sim_seconds: Optional[float] = None,
+    stream: Optional[IO[str]] = None,
+    min_interval: float = 0.5,
+    max_series: int = 6,
+    width: int = 48,
+):
+    """Attach a :class:`DashboardMonitor` to every simulator built in the
+    block (the ``--dashboard`` runner flag; pairs with
+    :func:`repro.obs.timeseries.collect_timeseries` for the series rows).
+    """
+    monitors: List[DashboardMonitor] = []
+
+    def factory(_sim: SimulationBackend) -> DashboardMonitor:
+        monitor = DashboardMonitor(
+            collection=collection,
+            max_series=max_series,
+            width=width,
             target_sim_seconds=target_sim_seconds,
             stream=stream,
             min_interval=min_interval,

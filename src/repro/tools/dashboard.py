@@ -1,0 +1,289 @@
+"""Render saved time-series telemetry as a terminal dashboard.
+
+``python -m repro.tools.dashboard RUN.jsonl`` draws the windowed series
+a run exported via ``--timeseries`` as sparklines (one row per series,
+density-ramp glyphs), or as a heatstrip with ``--heat``.  The same file
+can be schema-checked (``--validate``), evaluated against the
+interactivity SLOs (``--slo``, optionally loading a saved SLO report
+with ``--slo-file``), or exported as Chrome ``trace_event`` counter
+JSON (``--chrome-trace``, load in about:tracing / Perfetto alongside
+the causal traces from ``--trace-events``).
+
+``--live EXPERIMENT...`` skips the file entirely and delegates to
+``python -m repro.experiments --dashboard`` — the updating multi-line
+mini-dashboard while the run executes.
+
+Examples::
+
+    python -m repro.tools.dashboard ts.jsonl
+    python -m repro.tools.dashboard ts.jsonl --metric 'net.yardstick.*'
+    python -m repro.tools.dashboard ts.jsonl --heat --runs cellular/
+    python -m repro.tools.dashboard ts.jsonl --slo
+    python -m repro.tools.dashboard ts.jsonl --chrome-trace trace.json
+    python -m repro.tools.dashboard --live wan_matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.textplot import render_heatstrip, render_sparkline
+from repro.errors import ReproError
+from repro.obs.slo import SloEngine, validate_slo_records
+from repro.obs.timeseries import (
+    RunSeries,
+    TimeSeriesCollection,
+    validate_timeseries_records,
+)
+
+__all__ = ["main", "chrome_counter_events", "render_run"]
+
+#: Per-family series kind used when rendering values.
+_RENDER_KINDS = {
+    "counter": "counter_rate",
+    "gauge": "gauge",
+    "histogram": "histogram_quantile",
+}
+
+#: Unit suffix per render kind, for the row captions.
+_KIND_CAPTIONS = {
+    "counter_rate": "/s",
+    "gauge": "",
+    "histogram_quantile": " p95",
+}
+
+
+def _selected_keys(
+    run: RunSeries, patterns: Sequence[str]
+) -> Dict[str, str]:
+    keys = run.series_keys()
+    if not patterns:
+        return keys
+    return {
+        key: family
+        for key, family in keys.items()
+        if any(fnmatch.fnmatch(key, pattern) for pattern in patterns)
+    }
+
+
+def render_run(
+    run: RunSeries,
+    patterns: Sequence[str] = (),
+    width: int = 60,
+    heat: bool = False,
+    quantile: float = 0.95,
+) -> str:
+    """One run's series as labelled sparklines (or one heatstrip)."""
+    keys = _selected_keys(run, patterns)
+    title = (
+        f"run {run.label!r}: {len(run.windows)} windows, "
+        f"{run.span:g} sim-s at {run.window:g}s"
+        + (f" (coalesced x{run.coalesce_count})" if run.coalesce_count else "")
+    )
+    lines = [title]
+    if not keys:
+        lines.append("  (no series match)")
+        return "\n".join(lines)
+    if heat:
+        rows = {}
+        for key in sorted(keys):
+            points = run.values(key, _RENDER_KINDS[keys[key]], quantile)
+            if points:
+                rows[key] = [value for _t, value in points]
+        lines.append(render_heatstrip(rows, width=width))
+        return "\n".join(lines)
+    label_width = min(max(len(key) for key in keys), 48)
+    for key in sorted(keys):
+        kind = _RENDER_KINDS[keys[key]]
+        points = run.values(key, kind, quantile)
+        if not points:
+            continue
+        values = [value for _t, value in points]
+        label = key if len(key) <= 48 else key[:45] + "..."
+        lines.append(
+            f"  {label:<{label_width}} "
+            f"|{render_sparkline(values, width)}| "
+            f"last {values[-1]:.4g}{_KIND_CAPTIONS[kind]} "
+            f"max {max(values):.4g}"
+        )
+    return "\n".join(lines)
+
+
+def chrome_counter_events(
+    collection: TimeSeriesCollection, quantile: float = 0.95
+) -> Dict[str, Any]:
+    """Chrome ``trace_event`` counter ("C") events for every series.
+
+    Each run becomes a process (pid = run index) so Perfetto groups its
+    counters together; timestamps are window starts in microseconds.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, run in enumerate(collection.runs):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": run.label},
+            }
+        )
+        for key, family in sorted(run.series_keys().items()):
+            kind = _RENDER_KINDS[family]
+            for t0, value in run.values(key, kind, quantile):
+                events.append(
+                    {
+                        "name": key,
+                        "ph": "C",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": t0 * 1e6,
+                        "args": {kind: value},
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _load_records(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.dashboard",
+        description="Render time-series telemetry as a terminal dashboard.",
+    )
+    parser.add_argument(
+        "series",
+        nargs="?",
+        help="time-series JSONL written by --timeseries",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="only series matching this pattern (repeatable)",
+    )
+    parser.add_argument(
+        "--runs",
+        metavar="SUBSTR",
+        help="only runs whose label contains this substring",
+    )
+    parser.add_argument(
+        "--width", type=int, default=60, help="sparkline width (default 60)"
+    )
+    parser.add_argument(
+        "--quantile",
+        type=float,
+        default=0.95,
+        help="quantile for histogram series (default 0.95)",
+    )
+    parser.add_argument(
+        "--heat",
+        action="store_true",
+        help="render each run as one shared-scale heatstrip",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="schema-check the file (and --slo-file) instead of rendering",
+    )
+    parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate the interactivity SLOs and print the report",
+    )
+    parser.add_argument(
+        "--slo-file",
+        metavar="PATH",
+        help="a saved SLO JSONL to validate alongside the series",
+    )
+    parser.add_argument(
+        "--slo-out",
+        metavar="PATH",
+        help="with --slo: also write the report as JSONL",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="export Chrome trace_event counter JSON",
+    )
+    parser.add_argument(
+        "--live",
+        nargs=argparse.REMAINDER,
+        metavar="EXPERIMENT",
+        help="run experiments with the live dashboard instead of reading "
+        "a file (forwards to python -m repro.experiments --dashboard)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.live is not None:
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(["--dashboard", *args.live])
+
+    if args.series is None:
+        parser.error("a series file is required (or use --live)")
+
+    try:
+        records = _load_records(args.series)
+        validate_timeseries_records(records)
+        if args.slo_file is not None:
+            validate_slo_records(_load_records(args.slo_file))
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"invalid input: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        suffix = " (+ SLO report)" if args.slo_file else ""
+        print(f"{args.series}: {len(records)} records ok{suffix}")
+        return 0
+
+    collection = TimeSeriesCollection.from_records(records)
+    runs = [
+        run
+        for run in collection.runs
+        if args.runs is None or args.runs in run.label
+    ]
+    if not runs:
+        print("no runs match", file=sys.stderr)
+        return 1
+    for run in runs:
+        print(render_run(
+            run,
+            patterns=args.metric,
+            width=args.width,
+            heat=args.heat,
+            quantile=args.quantile,
+        ))
+        print()
+
+    if args.chrome_trace is not None:
+        subset = TimeSeriesCollection(window=collection.window)
+        for run in runs:
+            subset.adopt_run(run)
+        document = chrome_counter_events(subset, quantile=args.quantile)
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        print(
+            f"{len(document['traceEvents'])} counter events "
+            f"written to {args.chrome_trace}"
+        )
+
+    if args.slo:
+        report = SloEngine().evaluate(runs)
+        print(report.render())
+        if args.slo_out is not None:
+            count = report.write_jsonl(args.slo_out)
+            print(f"{count} SLO records written to {args.slo_out}")
+        return 0 if report.compliant else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,23 @@ from repro.netsim.transport import Endpoint, Network
 from repro.obs.context import ObsContext, get_obs
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 
+#: Recovery-latency histogram bounds, seconds.  Sized around the NACK
+#: machinery's own clocks (2 ms nack_delay, 100 ms nack_timeout) and
+#: the 300 ms loss-recovery SLO, so windowed quantiles resolve both
+#: healthy recoveries and budget-blowing ones.
+RECOVERY_LATENCY_BUCKETS = (
+    0.005,
+    0.010,
+    0.025,
+    0.050,
+    0.100,
+    0.150,
+    0.300,
+    0.500,
+    1.0,
+    2.0,
+)
+
 #: Console -> server control traffic flow label.
 CONTROL_FLOW = "display-control"
 
@@ -174,7 +191,8 @@ class ConsoleChannel:
             self._m_nacks = m.counter("transport.channel.nacks_sent")
             self._m_nack_bytes = m.counter("transport.channel.nack_bytes")
             self._m_latency = m.histogram(
-                "transport.channel.recovery_latency_seconds"
+                "transport.channel.recovery_latency_seconds",
+                buckets=RECOVERY_LATENCY_BUCKETS,
             )
 
     # -- wiring ---------------------------------------------------------------

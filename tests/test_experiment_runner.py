@@ -349,3 +349,47 @@ class TestUserstudyCache:
         userstudy.clear_cache()
         b = userstudy.get_study(PIM, n_users=1, duration=30.0, seed=79)
         assert a is not b
+
+
+class TestTimeseriesAndSloFlags:
+    def test_timeseries_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.__main__ import main
+        from repro.obs.timeseries import validate_timeseries_records
+
+        path = tmp_path / "ts.jsonl"
+        assert main(["--timeseries", str(path), "table4"]) == 0
+        records = [
+            json.loads(line)
+            for line in path.read_text().strip().split("\n")
+        ]
+        validate_timeseries_records(records)
+        assert "time-series records" in capsys.readouterr().out
+
+    def test_slo_flag_prints_report_and_writes_jsonl(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.experiments.__main__ import main
+        from repro.obs.slo import validate_slo_records
+
+        path = tmp_path / "slo.jsonl"
+        assert main(["--slo", str(path), "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "interactivity SLO report" in out
+        records = [
+            json.loads(line)
+            for line in path.read_text().strip().split("\n")
+        ]
+        validate_slo_records(records)
+
+    def test_dashboard_flag_restores_monitor_hook(self, capsys):
+        from repro.experiments.__main__ import main
+        from repro.netsim.engine import Simulator
+        from repro.obs.timeseries import active_collection
+
+        assert main(["--dashboard", "table4"]) == 0
+        assert Simulator()._monitor is None
+        assert active_collection() is None

@@ -328,3 +328,126 @@ class TestPerfCli:
         diff = diff_documents(doc, json.loads(json.dumps(doc)))
         assert diff.exit_code() == 0
         assert diff.regressions() == []
+
+
+class FakeSim:
+    """Minimal stand-in with the two fields the monitor reads."""
+
+    def __init__(self, now=0.0, events_processed=0):
+        self.now = now
+        self.events_processed = events_processed
+
+
+class TestDropCounterCache:
+    def test_sums_drop_counters_and_caches_handles(self):
+        from repro.perf.progress import _DropCounterCache
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry import use_registry
+
+        registry = MetricsRegistry()
+        lost = registry.counter("net.link.packets_lost", link="a")
+        lost.inc(3)
+        with use_registry(registry):
+            cache = _DropCounterCache()
+            assert cache.total() == 3
+            # Without registry growth, repaints must reuse the cached
+            # instrument handles instead of rescanning collect().
+            scans = []
+            original_collect = registry.collect
+
+            def counting_collect(prefix=""):
+                scans.append(prefix)
+                return original_collect(prefix)
+
+            registry.collect = counting_collect
+            lost.inc(2)
+            assert cache.total() == 5
+            assert scans == []
+            # A new instrument changes len(registry): rescan picks it up.
+            registry.counter("net.link.packets_dropped", link="b").inc(4)
+            assert cache.total() == 9
+            assert scans
+
+    def test_disabled_registry_is_zero(self):
+        from repro.perf.progress import _DropCounterCache
+
+        # The ambient default registry is the disabled NullRegistry.
+        assert _DropCounterCache().total() == 0
+
+
+class TestWindowedSimRate:
+    def paint_at(self, monitor, sim_now, events, wall):
+        sim = FakeSim(now=sim_now, events_processed=events)
+        monitor.paint(sim, now=wall)
+
+    def test_eta_tracks_recent_rate_not_lifetime_average(self):
+        out = io.StringIO()
+        monitor = ProgressMonitor(
+            target_sim_seconds=1000.0, stream=out, min_interval=0.0
+        )
+        start = monitor._last_wall
+        # First repaint window: 1 sim-s over 1 wall-s.
+        self.paint_at(monitor, 1.0, 1000, start + 1.0)
+        assert monitor._sim_rate == pytest.approx(1.0)
+        # Second window is 10x faster; the EMA moves toward it while the
+        # lifetime average (11 sim-s / 2 wall-s = 5.5) would not.
+        self.paint_at(monitor, 11.0, 2000, start + 2.0)
+        expected = 1.0 + 0.4 * (10.0 - 1.0)
+        assert monitor._sim_rate == pytest.approx(expected)
+        assert monitor._sim_rate != pytest.approx(5.5)
+        line = out.getvalue()
+        assert f"{expected:.1f} sim-s/s" in line
+
+    def test_eta_field_uses_the_windowed_rate(self):
+        out = io.StringIO()
+        monitor = ProgressMonitor(
+            target_sim_seconds=10.0, stream=out, min_interval=0.0
+        )
+        self.paint_at(monitor, 5.0, 100, monitor._last_wall + 1.0)
+        # 5 sim-s left at 5 sim-s/s -> one second.
+        assert "eta 0:01" in out.getvalue()
+
+
+class TestDashboardMonitor:
+    def collection(self):
+        from repro.obs.timeseries import TimeSeriesCollection
+
+        collection = TimeSeriesCollection(window=1.0)
+        run = collection.new_run("demo")
+        for i in range(6):
+            run.append_window({
+                "t0": float(i), "t1": float(i) + 1.0,
+                "counters": {"net.pkts": 5 + i},
+                "gauges": {}, "histograms": {},
+            })
+        return collection
+
+    def test_paint_renders_status_plus_sparkline_rows(self):
+        from repro.perf.progress import DashboardMonitor
+
+        out = io.StringIO()
+        monitor = DashboardMonitor(
+            collection=self.collection(), stream=out, min_interval=0.0
+        )
+        monitor.paint(FakeSim(now=6.0, events_processed=1200))
+        text = out.getvalue()
+        assert "sim 6.00s" in text
+        assert "net.pkts" in text and "|" in text
+        # Second repaint rewinds to the top of the painted block.
+        monitor.paint(FakeSim(now=7.0, events_processed=1300))
+        assert f"\x1b[{2}F" in out.getvalue()
+
+    def test_live_dashboard_installs_and_restores(self):
+        from repro.perf.progress import live_dashboard
+
+        out = io.StringIO()
+        with live_dashboard(
+            self.collection(), stream=out, min_interval=0.0
+        ) as monitors:
+            sim = Simulator()
+            for i in range(20000):
+                sim.schedule(i * 1e-4, lambda: None)
+            sim.run()
+        assert monitors and monitors[0].updates_painted > 0
+        assert "net.pkts" in out.getvalue()
+        assert Simulator()._monitor is None

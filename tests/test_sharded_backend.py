@@ -228,3 +228,156 @@ class TestWindowJump:
             backend.run()
             assert fired == ["start", "end"]
             assert backend.now >= 86_400.0
+
+
+class FidelityProgram:
+    """Deterministic per-entity telemetry, partitioned by shard layout.
+
+    Each entity's observations come from an RNG seeded by (seed, entity)
+    — never by shard index — so the only thing that changes between a
+    single-shard and a multi-shard run is which process holds which
+    instruments, i.e. exactly what merge_telemetry must reconcile.
+    """
+
+    N_ENTITIES = 24
+    SEED = 97
+    BUCKETS = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+    def __init__(self, ctx):
+        import numpy as np
+
+        from repro.telemetry.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
+        for entity in range(self.N_ENTITIES):
+            if entity % ctx.n_shards != ctx.shard_index:
+                continue
+            rng = np.random.default_rng([self.SEED, entity])
+            registry.counter("fid.events", entity=str(entity)).inc(entity + 1)
+            total = registry.counter("fid.total")
+            hist = registry.histogram("fid.latency", buckets=self.BUCKETS)
+            for value in rng.uniform(0.0, 1.0, size=50):
+                hist.observe(float(value))
+                total.inc()
+
+
+def build_fidelity(ctx):
+    return FidelityProgram(ctx)
+
+
+class SeriesProgram:
+    """Advances sim time while bumping a per-shard counter, so the
+    worker's time-series sampler has something to window."""
+
+    def __init__(self, ctx):
+        from repro.telemetry.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        set_registry(registry)
+        counter = registry.counter(
+            "series.ticks", shard=str(ctx.shard_index)
+        )
+        for i in range(10):
+            ctx.sim.schedule_at(0.5 * i, counter.inc)
+
+
+def build_series(ctx):
+    return SeriesProgram(ctx)
+
+
+class TestMergeTelemetryFidelity:
+    """Satellite: fixed-seed sharded vs single-shard telemetry.
+
+    Counters and histogram count/min/max/buckets merge exactly; the
+    histogram sum is exact up to float summation order (merging adds
+    per-shard partial sums); quantiles are P2 estimates combined by
+    count-weighted mean, documented as approximate — pinned here to a
+    15% relative tolerance.
+    """
+
+    QUANTILE_RTOL = 0.15
+
+    @staticmethod
+    def merged(n_shards):
+        with ShardedBackend(n_shards, build=build_fidelity) as backend:
+            backend.run()
+            collection = backend.collect()
+        return {
+            (e["name"], tuple(sorted(e["labels"].items()))): e
+            for e in collection.telemetry
+        }
+
+    def test_sharded_matches_single_shard_within_tolerance(self):
+        single = self.merged(1)
+        sharded = self.merged(2)
+        assert set(single) == set(sharded)
+
+        for key in single:
+            ours, theirs = single[key], sharded[key]
+            if ours["kind"] == "counter":
+                assert ours["value"] == theirs["value"], key
+
+        key = ("fid.latency", ())
+        ours, theirs = single[key], sharded[key]
+        assert ours["count"] == theirs["count"] == (
+            FidelityProgram.N_ENTITIES * 50
+        )
+        assert ours["min"] == theirs["min"]
+        assert ours["max"] == theirs["max"]
+        assert theirs["sum"] == pytest.approx(ours["sum"], rel=1e-12)
+        assert ours["buckets"] == theirs["buckets"]
+        for q, value in ours["quantiles"].items():
+            assert theirs["quantiles"][q] == pytest.approx(
+                value, rel=self.QUANTILE_RTOL
+            ), f"quantile {q} drifted past the documented tolerance"
+
+    def test_per_entity_counters_are_layout_invariant(self):
+        single = self.merged(1)
+        sharded = self.merged(3)
+        for entity in range(FidelityProgram.N_ENTITIES):
+            key = ("fid.events", (("entity", str(entity)),))
+            assert single[key]["value"] == sharded[key]["value"] == entity + 1
+
+
+class TestShardSeriesGathering:
+    def test_series_gathered_and_merged_at_collect_barrier(self):
+        from repro.obs.timeseries import (
+            TimeSeriesCollection,
+            collect_timeseries,
+        )
+        from repro.telemetry.metrics import MetricsRegistry
+
+        collection = TimeSeriesCollection(
+            window=1.0, registry=MetricsRegistry()
+        )
+        with collect_timeseries(collection):
+            with ShardedBackend(
+                2, build=build_series, lookahead=0.25
+            ) as backend:
+                backend.run()
+                shard_collection = backend.collect()
+
+        merged = shard_collection.series
+        assert merged is not None
+        assert [s is not None for s in shard_collection.series_per_shard] == (
+            [True, True]
+        )
+        # 10 ticks per shard, summed window-by-window across shards.
+        total = sum(
+            delta
+            for window in merged.windows
+            for key, delta in window["counters"].items()
+            if key.startswith("series.ticks")
+        )
+        assert total == 20
+        # The merged timeline was adopted into the active collection, so
+        # --timeseries/--slo see sharded runs like any other.
+        assert merged in collection.runs
+
+    def test_no_series_without_active_collection(self):
+        with ShardedBackend(2, build=build_series, lookahead=0.25) as backend:
+            backend.run()
+            shard_collection = backend.collect()
+        assert shard_collection.series is None
+        assert shard_collection.series_per_shard == [None, None]

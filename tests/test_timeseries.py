@@ -1,0 +1,399 @@
+"""Tests for windowed time-series telemetry (repro.obs.timeseries).
+
+Covers the math (bucket quantiles, window extraction), the sampler's
+delta/last-value semantics, bounded memory via coalescing, the JSONL
+round trip + schema validation, shard-style merging, and the
+``collect_timeseries`` session seam (nesting, monitor chaining, trace-id
+annotation, mid-session flushes).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.netsim.engine import Simulator, set_default_monitor
+from repro.obs.context import ObsContext, use_obs
+from repro.obs.causal import TraceCollector
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW,
+    SCHEMA_VERSION,
+    RunSeries,
+    TimeSeriesCollection,
+    TimeSeriesSampler,
+    active_collection,
+    bucket_quantile,
+    collect_timeseries,
+    merge_runs,
+    validate_timeseries_records,
+    window_value,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakeSim:
+    """Just enough simulator for driving a sampler by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.events_processed = 0
+
+
+def make_window(t0, t1, counters=None, gauges=None, histograms=None, **extra):
+    record = {
+        "t0": t0,
+        "t1": t1,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+    record.update(extra)
+    return record
+
+
+class TestBucketQuantile:
+    BUCKETS = [[0.1, 2], [0.2, 6], [0.5, 2], [float("inf"), 0]]
+
+    def test_empty_returns_none(self):
+        assert bucket_quantile([[0.1, 0], [1.0, 0]], 0.95) is None
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations; the median lands 3/6 of the way through the
+        # (0.1, 0.2] bucket: 0.1 + 0.5 * 0.1 = 0.15.
+        assert bucket_quantile(self.BUCKETS, 0.5) == pytest.approx(0.15)
+
+    def test_overflow_returns_last_finite_bound(self):
+        buckets = [[0.1, 1], [float("inf"), 9]]
+        assert bucket_quantile(buckets, 0.95) == pytest.approx(0.1)
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            bucket_quantile(self.BUCKETS, 1.5)
+
+
+class TestWindowValue:
+    WINDOW = make_window(
+        2.0,
+        4.0,
+        counters={"net.bytes": 100},
+        gauges={"bw.tier.level{client=1}": 2},
+        histograms={
+            "rtt": {"count": 4, "sum": 0.8, "buckets": [[0.1, 1], [0.3, 3]]},
+            "nobuckets": {"count": 2, "sum": 3.0, "buckets": []},
+        },
+    )
+
+    def test_counter_rate_and_delta(self):
+        assert window_value(self.WINDOW, "net.bytes", "counter_rate") == 50.0
+        assert window_value(self.WINDOW, "net.bytes", "counter_delta") == 100.0
+
+    def test_gauge_last_value(self):
+        key = "bw.tier.level{client=1}"
+        assert window_value(self.WINDOW, key, "gauge") == 2.0
+
+    def test_histogram_quantile_from_buckets(self):
+        value = window_value(self.WINDOW, "rtt", "histogram_quantile", 0.5)
+        # Median is 1/3 into the (0.1, 0.3] bucket.
+        assert value == pytest.approx(0.1 + (1 / 3) * 0.2)
+
+    def test_bucketless_histogram_falls_back_to_mean(self):
+        value = window_value(self.WINDOW, "nobuckets", "histogram_quantile")
+        assert value == pytest.approx(1.5)
+        assert window_value(self.WINDOW, "rtt", "histogram_mean") == (
+            pytest.approx(0.2)
+        )
+
+    def test_missing_series_is_none(self):
+        assert window_value(self.WINDOW, "absent", "counter_rate") is None
+        assert window_value(self.WINDOW, "absent", "gauge") is None
+        assert window_value(self.WINDOW, "absent", "histogram_mean") is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            window_value(self.WINDOW, "net.bytes", "no_such_kind")
+
+
+class TestSampler:
+    def setup_method(self):
+        self.registry = MetricsRegistry()
+        self.run = RunSeries("test", window=1.0)
+        self.sampler = TimeSeriesSampler(self.run, registry=self.registry)
+        self.sim = FakeSim()
+
+    def test_counters_become_per_window_deltas(self):
+        counter = self.registry.counter("pkts")
+        counter.inc(3)
+        self.sim.now = 1.0
+        self.sampler(self.sim)
+        counter.inc(5)
+        self.sim.now = 2.0
+        self.sampler(self.sim)
+        deltas = [w["counters"]["pkts"] for w in self.run.windows]
+        assert deltas == [3, 5]
+
+    def test_gauges_recorded_only_on_change(self):
+        gauge = self.registry.gauge("tier")
+        gauge.set(1)
+        self.sim.now = 1.0
+        self.sampler(self.sim)
+        # Unchanged: window 2 stores nothing at all (gauge suppressed,
+        # no other activity), so it is skipped entirely.
+        self.sim.now = 2.0
+        self.sampler(self.sim)
+        gauge.set(2)
+        self.sim.now = 3.0
+        self.sampler(self.sim)
+        gauges = [w.get("gauges", {}) for w in self.run.windows]
+        assert gauges == [{"tier": 1}, {"tier": 2}]
+        assert [w["t0"] for w in self.run.windows] == [0.0, 2.0]
+
+    def test_histogram_bucket_deltas_are_windowed(self):
+        hist = self.registry.histogram("rtt", buckets=(0.1, 0.5))
+        hist.observe(0.05)
+        hist.observe(0.3)
+        self.sim.now = 1.0
+        self.sampler(self.sim)
+        hist.observe(0.3)
+        self.sim.now = 2.0
+        self.sampler(self.sim)
+        first, second = (w["histograms"]["rtt"] for w in self.run.windows)
+        assert first["count"] == 2 and second["count"] == 1
+        assert [pair[1] for pair in first["buckets"]] == [1, 1, 0]
+        assert [pair[1] for pair in second["buckets"]] == [0, 1, 0]
+
+    def test_finish_flushes_partial_window_and_is_repeatable(self):
+        counter = self.registry.counter("pkts")
+        counter.inc(2)
+        self.sampler.finish(0.4)
+        assert len(self.run.windows) == 1
+        assert self.run.windows[0]["t1"] == pytest.approx(0.4)
+        # Second flush at the same time stores nothing new...
+        self.sampler.finish(0.4)
+        assert len(self.run.windows) == 1
+        # ...and sampling continues afterwards from the flush point.
+        counter.inc(7)
+        self.sampler.finish(0.9)
+        assert self.run.windows[1]["t0"] == pytest.approx(0.4)
+        assert self.run.windows[1]["counters"]["pkts"] == 7
+
+    def test_quiet_windows_are_not_stored(self):
+        self.registry.counter("pkts").inc()
+        self.sim.now = 5.0
+        self.sampler(self.sim)
+        assert len(self.run.windows) == 1
+        self.sim.now = 9.0
+        self.sampler(self.sim)  # nothing changed: no new windows
+        assert len(self.run.windows) == 1
+
+
+class TestCoalescing:
+    def test_memory_stays_bounded_and_deltas_are_preserved(self):
+        run = RunSeries("r", window=1.0, max_windows=4)
+        for i in range(64):
+            run.append_window(make_window(i, i + 1, counters={"c": 1}))
+        assert len(run.windows) <= 4
+        assert run.coalesce_count > 0
+        assert run.window > 1.0
+        total = sum(w["counters"]["c"] for w in run.windows)
+        assert total == 64
+        assert run.windows[0]["t0"] == 0 and run.windows[-1]["t1"] == 64
+
+    def test_rebin_to_narrower_grid_rejected(self):
+        run = RunSeries("r", window=2.0)
+        with pytest.raises(ReproError):
+            run.rebinned(1.0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ReproError):
+            RunSeries("r", window=0.0)
+        with pytest.raises(ReproError):
+            RunSeries("r", max_windows=2)
+
+
+class TestMergeRuns:
+    def shard(self, label, count):
+        run = RunSeries(label, window=1.0)
+        run.append_window(
+            make_window(
+                0.0,
+                1.0,
+                counters={"pkts": count},
+                histograms={
+                    "rtt": {
+                        "count": count,
+                        "sum": 0.1 * count,
+                        "buckets": [[0.1, count], [float("inf"), 0]],
+                    }
+                },
+            )
+        )
+        return run
+
+    def test_counter_and_bucket_deltas_sum(self):
+        merged = merge_runs([self.shard("a", 3), self.shard("b", 5)], "m")
+        assert merged.label == "m"
+        assert len(merged.windows) == 1
+        window = merged.windows[0]
+        assert window["counters"]["pkts"] == 8
+        assert window["histograms"]["rtt"]["count"] == 8
+        assert window["histograms"]["rtt"]["buckets"][0][1] == 8
+
+    def test_merge_rebins_to_coarsest_run(self):
+        fine = self.shard("fine", 1)
+        coarse = RunSeries("coarse", window=2.0)
+        coarse.append_window(make_window(0.0, 2.0, counters={"pkts": 4}))
+        merged = merge_runs([fine, coarse], "m")
+        assert merged.window == 2.0
+        assert merged.windows[0]["counters"]["pkts"] == 5
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ReproError):
+            merge_runs([], "m")
+
+
+class TestCollectionRoundTrip:
+    def collection(self):
+        collection = TimeSeriesCollection(window=1.0)
+        with collection.label("cellular/static"):
+            assert collection.next_label() == "cellular/static"
+        run = collection.new_run("cellular/static")
+        run.append_window(
+            make_window(0.0, 1.0, counters={"pkts": 3}, trace_ids=[7])
+        )
+        collection.new_run()  # auto-labelled, stays empty
+        return collection
+
+    def test_labels_and_prune(self):
+        collection = self.collection()
+        assert collection.runs[1].label == "run-1"
+        assert collection.prune_empty() == 1
+        assert collection.run_by_label("cellular/static") is not None
+        assert collection.run_by_label("missing") is None
+
+    def test_jsonl_round_trip(self, tmp_path):
+        collection = self.collection()
+        path = tmp_path / "ts.jsonl"
+        count = collection.write_jsonl(str(path))
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == count
+        header = json.loads(lines[0])
+        assert header["type"] == "timeseries_header"
+        assert header["version"] == SCHEMA_VERSION
+
+        loaded = TimeSeriesCollection.read_jsonl(str(path))
+        run = loaded.run_by_label("cellular/static")
+        assert run.windows[0]["counters"]["pkts"] == 3
+        assert run.windows[0]["trace_ids"] == [7]
+
+    def test_write_to_stream(self):
+        buffer = io.StringIO()
+        count = self.collection().write_jsonl(buffer)
+        assert buffer.getvalue().count("\n") == count
+
+    def test_validate_accepts_own_output(self):
+        validate_timeseries_records(self.collection().to_records())
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda r: r.clear(), "empty"),
+            (lambda r: r.pop(0), "header"),
+            # r[2] is the labelled run's window record.
+            (lambda r: r[2].update(t1=-1.0), "t1 <= t0"),
+            (lambda r: r[2].update(run=99), "undeclared run"),
+            (lambda r: r[2].update(type="mystery"), "unknown record type"),
+        ],
+    )
+    def test_validate_rejects_corruption(self, mutate, message):
+        records = self.collection().to_records()
+        mutate(records)
+        with pytest.raises(ReproError, match=message):
+            validate_timeseries_records(records)
+
+
+class TestCollectTimeseries:
+    def drive(self, collection=None, events=1500, registry=None):
+        with collect_timeseries(collection, registry=registry) as active:
+            sim = Simulator()
+            counter = (
+                active.registry.counter("evt")
+                if active.registry is not None
+                else None
+            )
+            for i in range(events):
+                sim.schedule(i * 0.01, counter.inc)
+            sim.run()
+        return active
+
+    def test_samples_every_simulator_into_runs(self):
+        registry = MetricsRegistry()
+        collection = self.drive(registry=registry)
+        assert len(collection.runs) == 1
+        run = collection.runs[0]
+        assert run.label == "run-1"
+        # All 1500 increments accounted for across the windows.
+        assert sum(w["counters"].get("evt", 0) for w in run.windows) == 1500
+        # The 15 sim-second span produced multiple 1 s windows (closed by
+        # the monitor hook, not just the final flush).
+        assert len(run.windows) > 1
+
+    def test_nesting_reuses_outer_collection(self):
+        registry = MetricsRegistry()
+        outer = TimeSeriesCollection(window=1.0, registry=registry)
+        with collect_timeseries(outer) as a:
+            with collect_timeseries() as b:
+                assert b is a is outer
+                assert active_collection() is outer
+        assert active_collection() is None
+
+    def test_chains_previously_installed_monitor_factory(self):
+        seen = []
+
+        class Spy:
+            every = 100
+
+            def __call__(self, sim):
+                seen.append(sim.events_processed)
+
+        previous = set_default_monitor(lambda sim: Spy())
+        try:
+            self.drive(registry=MetricsRegistry())
+        finally:
+            set_default_monitor(previous)
+        # The spy kept firing through the sampler's chain, at its own
+        # (finer) granularity.
+        assert seen and seen[0] == 100
+
+    def test_windows_carry_open_trace_ids(self):
+        tracer = TraceCollector()
+        registry = MetricsRegistry()
+        with use_obs(ObsContext(tracer=tracer)):
+            with collect_timeseries(registry=registry) as collection:
+                sim = Simulator()
+                probe = tracer.begin_probe("net.yardstick.round", 0.0)
+                counter = registry.counter("evt")
+                for i in range(600):
+                    sim.schedule(i * 0.01, counter.inc)
+                sim.run()
+                tracer.end_probe(probe)
+        run = collection.runs[0]
+        annotated = [w for w in run.windows if w.get("trace_ids")]
+        assert annotated and probe in annotated[0]["trace_ids"]
+
+    def test_finish_samplers_flushes_mid_session(self):
+        registry = MetricsRegistry()
+        with collect_timeseries(registry=registry) as collection:
+            sim = Simulator()
+            counter = registry.counter("evt")
+            sim.schedule(0.25, counter.inc)
+            sim.run()
+            # Sim stopped mid-window; nothing crossed a boundary yet.
+            assert not collection.runs[0].windows
+            collection.finish_samplers()
+            assert collection.runs[0].windows
+        assert collection.runs[0].windows[0]["counters"]["evt"] == 1
+
+    def test_default_window_matches_module_default(self):
+        with collect_timeseries(registry=MetricsRegistry()) as collection:
+            assert collection.window == DEFAULT_WINDOW
