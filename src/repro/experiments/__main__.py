@@ -55,6 +55,7 @@ from repro.experiments import (  # noqa: F401
 )
 from repro.experiments.runner import EXPERIMENTS, ExperimentConfig, render_table
 from repro.obs import (
+    FlightRecorder,
     ObsContext,
     SlimcapWriter,
     SloEngine,
@@ -62,6 +63,7 @@ from repro.obs import (
     TraceCollector,
     chrome_trace_events,
     collect_timeseries,
+    record_flight,
     use_obs,
 )
 from repro.perf.progress import live_dashboard, live_progress
@@ -173,6 +175,19 @@ def main(argv=None) -> int:
         help="rows in the profile report (default: 30)",
     )
     parser.add_argument(
+        "--no-flight-recorder",
+        action="store_true",
+        help="disarm the always-on flight recorder (no anomaly-triggered "
+        ".slimpm post-mortem bundles)",
+    )
+    parser.add_argument(
+        "--postmortem-dir",
+        metavar="DIR",
+        default=".",
+        help="where anomaly-triggered .slimpm bundles land (default: .; "
+        "triage with python -m repro.tools.postmortem)",
+    )
+    parser.add_argument(
         "--memprofile",
         nargs="?",
         const="memprofile.txt",
@@ -225,7 +240,38 @@ def main(argv=None) -> int:
     )
     tracer = TraceCollector() if observing else None
     writer = SlimcapWriter(args.capture) if args.capture is not None else None
-    obs = ObsContext(tracer=tracer, capture=writer) if observing else None
+
+    # The flight recorder is armed by default: bounded rings over the
+    # wire frames, recent traces, and telemetry windows, frozen into a
+    # .slimpm bundle when an SLO trips, a loss burst / tier thrash is
+    # detected, or the run is interrupted or crashes.  When the run
+    # already observes (capture / trace-events / sampling) the recorder
+    # rides the same tracer; otherwise it brings its own bounded one.
+    flightrec = None
+    if not args.no_flight_recorder:
+        flightrec = FlightRecorder(
+            out_dir=args.postmortem_dir,
+            label="+".join(selected) if args.ids else "all",
+            config={
+                "experiments": selected,
+                "seed": args.seed,
+                "duration": args.duration,
+                "users": args.users,
+                "argv": list(argv) if argv is not None else sys.argv[1:],
+            },
+        )
+        if tracer is not None:
+            flightrec.attach_tracer(tracer)
+        else:
+            tracer = flightrec.tracer
+        if writer is not None:
+            flightrec.capture.tee = writer
+        obs = ObsContext(tracer=tracer, capture=flightrec.capture)
+        observing = True
+    else:
+        obs = (
+            ObsContext(tracer=tracer, capture=writer) if observing else None
+        )
 
     profiler = cProfile.Profile() if args.profile is not None else None
     if args.memprofile is not None:
@@ -255,27 +301,45 @@ def main(argv=None) -> int:
                         if sampling
                         else _null_context()
                     ):
-                        for experiment_id in selected:
-                            started = time.time()
-                            if profiler is not None:
-                                profiler.enable()
-                            try:
-                                result = EXPERIMENTS[experiment_id].runner(
-                                    config
-                                )
-                            finally:
+                        with (
+                            record_flight(flightrec)
+                            if flightrec is not None
+                            else _null_context()
+                        ):
+                            for experiment_id in selected:
+                                started = time.time()
+                                if flightrec is not None:
+                                    flightrec.note(experiment_id)
                                 if profiler is not None:
-                                    profiler.disable()
-                            results.append(result)
-                            print(render_table(result))
-                            print(f"  ({time.time() - started:.1f}s)")
-                            print()
+                                    profiler.enable()
+                                try:
+                                    result = EXPERIMENTS[
+                                        experiment_id
+                                    ].runner(config)
+                                finally:
+                                    if profiler is not None:
+                                        profiler.disable()
+                                results.append(result)
+                                print(render_table(result))
+                                print(f"  ({time.time() - started:.1f}s)")
+                                print()
     except KeyboardInterrupt:
         interrupted = True
         print(
             "\ninterrupted — flushing partial results and reports",
             file=sys.stderr,
         )
+        if flightrec is not None:
+            flightrec.trigger(
+                "keyboard_interrupt",
+                detail="run interrupted; rings frozen as of Ctrl-C",
+            )
+    except Exception as exc:
+        # A crash is the flight recorder's reason to exist: freeze the
+        # rings before the traceback unwinds, then re-raise unchanged.
+        if flightrec is not None:
+            flightrec.trigger("crash", detail=repr(exc))
+        raise
 
     if writer is not None:
         # Embed the completed causal traces so the capture file carries
@@ -323,6 +387,23 @@ def main(argv=None) -> int:
         tracemalloc.stop()
         _write_memprofile(memory_before, memory_after, args.memprofile)
         print(f"tracemalloc report written to {args.memprofile}")
+    if flightrec is not None and flightrec.triggers:
+        print(
+            f"flight recorder: {len(flightrec.triggers)} trigger(s), "
+            f"{len(flightrec.bundles)} post-mortem bundle(s)"
+        )
+        for trigger in flightrec.triggers:
+            where = trigger.get("run") or trigger.get("phase") or ""
+            print(
+                f"  {trigger['kind']}"
+                + (f" in {where}" if where else "")
+                + (f": {trigger['detail']}" if trigger.get("detail") else "")
+            )
+        for path in flightrec.bundles:
+            print(
+                f"  bundle {path} "
+                f"(triage with python -m repro.tools.postmortem)"
+            )
     if args.markdown:
         from repro.experiments.report import write_report
 

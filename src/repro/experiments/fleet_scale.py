@@ -511,6 +511,11 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         duration=config.get("duration", 24 * 3600.0),
     )
     n_shards = int(config.get("shards", 4))
+    from repro.obs.flightrec import active_recorder
+
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.note(f"fleet_scale/{n_desktops}d/{n_shards}s")
     if n_shards > 1:
         aggregator, collection = run_fleet_sharded(spec, n_shards)
         merged = {

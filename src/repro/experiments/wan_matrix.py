@@ -286,6 +286,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             bw = demands[workload]
             static_label = f"{profile_name}/{workload}/static"
             adaptive_label = f"{profile_name}/{workload}/adaptive"
+            _note_cell(static_label)
             with _cell_label(collection, static_label):
                 static = CellProbe(
                     profile,
@@ -295,6 +296,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                     seed=probe_seed,
                     registry=registry,
                 ).run()
+            _note_cell(adaptive_label)
             with _cell_label(collection, adaptive_label):
                 adaptive = CellProbe(
                     profile,
@@ -372,6 +374,16 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             f"{KEYSTROKE_ECHO.budget:.0%} error budget",
         ],
     )
+
+
+def _note_cell(label: str) -> None:
+    """Annotate the armed flight recorder (if any) with the cell about
+    to run, so triggers and engine marks carry the cell label."""
+    from repro.obs.flightrec import active_recorder
+
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.note(label)
 
 
 def _cell_label(collection, label: str):

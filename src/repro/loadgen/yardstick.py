@@ -176,7 +176,7 @@ class NetworkYardstick:
 
     def _close_probe(self) -> None:
         if self._tracer is not None and self._probe_id is not None:
-            self._tracer.end_probe(self._probe_id)
+            self._tracer.end_probe(self._probe_id, self.sim.now)
             self._probe_id = None
 
     # -- results ----------------------------------------------------------------

@@ -69,8 +69,11 @@ COORDINATOR = -1
 DEFAULT_LOOKAHEAD = 1e-3
 
 #: A boundary message in flight:
-#: ``(arrival_time, src_shard, seq, dst_shard, port, payload)``.
-_Message = Tuple[float, int, int, int, str, Any]
+#: ``(arrival_time, src_shard, seq, dst_shard, port, payload, trace)``.
+#: ``trace`` is an opaque causal-trace context dict (or None) riding
+#: alongside the payload, so a display update crossing shards keeps its
+#: telescoping stage partition (see TraceCollector.boundary_export).
+_Message = Tuple[float, int, int, int, str, Any, Any]
 
 
 def _check_delay(delay: Optional[float], lookahead: float) -> float:
@@ -104,6 +107,14 @@ class ShardContext:
         self._handlers: Dict[str, Callable[[Any, float], None]] = {}
         self._outbox: List[_Message] = []
         self._seq = itertools.count()
+        #: The trace context of the boundary message currently being
+        #: delivered (set around handler invocation), so relay receivers
+        #: can adopt the sender's causal trace without threading it
+        #: through every handler signature.
+        self.current_trace: Optional[Any] = None
+        #: Hop log for the flight recorder: one record per traced
+        #: boundary send.
+        self.boundary_hops: List[Dict[str, Any]] = []
 
     def on_receive(
         self, port: str, handler: Callable[[Any, float], None]
@@ -117,38 +128,67 @@ class ShardContext:
         payload: Any,
         delay: Optional[float] = None,
         dst_shard: int = COORDINATOR,
+        trace: Optional[Any] = None,
     ) -> None:
         """Emit a boundary message ``delay`` seconds of propagation away.
 
         ``delay`` defaults to (and must be at least) the lookahead.
         ``dst_shard`` is another shard's index, or :data:`COORDINATOR`
-        for the parent process.
+        for the parent process.  ``trace`` is an optional causal-trace
+        context (from ``TraceCollector.boundary_export``) delivered as
+        ``ctx.current_trace`` around the receiving handler; it defaults
+        to the context of the message currently being handled, so a
+        relayed hop keeps its trace without explicit plumbing.
         """
         delay = _check_delay(delay, self.lookahead)
         if dst_shard != COORDINATOR and not 0 <= dst_shard < self.n_shards:
             raise SimulationError(f"unknown destination shard {dst_shard}")
+        if trace is None:
+            trace = self.current_trace
         arrival = self.sim.now + delay
+        if trace is not None:
+            self.boundary_hops.append(
+                {
+                    "gid": trace.get("gid") if isinstance(trace, dict) else None,
+                    "port": port,
+                    "src_shard": self.shard_index,
+                    "dst_shard": dst_shard,
+                    "sent_at": self.sim.now,
+                    "arrival": arrival,
+                }
+            )
         if dst_shard == self.shard_index:
             # Intra-shard loopback stays on the local heap.
             self.sim.schedule_at(
-                arrival, _Delivery(self._handlers, port, payload, arrival)
+                arrival,
+                _Delivery(self._handlers, port, payload, arrival, self, trace),
             )
             return
         self._outbox.append(
-            (arrival, self.shard_index, next(self._seq), dst_shard, port, payload)
+            (
+                arrival,
+                self.shard_index,
+                next(self._seq),
+                dst_shard,
+                port,
+                payload,
+                trace,
+            )
         )
 
 
 class _Delivery:
     """A scheduled boundary-message arrival (late-bound handler lookup)."""
 
-    __slots__ = ("handlers", "port", "payload", "arrival")
+    __slots__ = ("handlers", "port", "payload", "arrival", "ctx", "trace")
 
-    def __init__(self, handlers, port, payload, arrival):
+    def __init__(self, handlers, port, payload, arrival, ctx=None, trace=None):
         self.handlers = handlers
         self.port = port
         self.payload = payload
         self.arrival = arrival
+        self.ctx = ctx
+        self.trace = trace
 
     def __call__(self) -> None:
         handler = self.handlers.get(self.port)
@@ -156,7 +196,16 @@ class _Delivery:
             raise SimulationError(
                 f"no handler registered for boundary port {self.port!r}"
             )
-        handler(self.payload, self.arrival)
+        ctx = self.ctx
+        if ctx is None or self.trace is None:
+            handler(self.payload, self.arrival)
+            return
+        previous = ctx.current_trace
+        ctx.current_trace = self.trace
+        try:
+            handler(self.payload, self.arrival)
+        finally:
+            ctx.current_trace = previous
 
 
 class LocalBus(ShardContext):
@@ -179,13 +228,28 @@ class LocalBus(ShardContext):
         payload: Any,
         delay: Optional[float] = None,
         dst_shard: int = COORDINATOR,
+        trace: Optional[Any] = None,
     ) -> None:
         delay = _check_delay(delay, self.lookahead)
         if dst_shard != COORDINATOR and dst_shard != 0:
             raise SimulationError(f"unknown destination shard {dst_shard}")
+        if trace is None:
+            trace = self.current_trace
         arrival = self.sim.now + delay
+        if trace is not None:
+            self.boundary_hops.append(
+                {
+                    "gid": trace.get("gid") if isinstance(trace, dict) else None,
+                    "port": port,
+                    "src_shard": 0,
+                    "dst_shard": dst_shard,
+                    "sent_at": self.sim.now,
+                    "arrival": arrival,
+                }
+            )
         self.sim.schedule_at(
-            arrival, _Delivery(self._handlers, port, payload, arrival)
+            arrival,
+            _Delivery(self._handlers, port, payload, arrival, self, trace),
         )
 
 
@@ -215,6 +279,24 @@ def _shard_worker(
         set_default_monitor(None)
         sim = Simulator()
         ctx = ShardContext(sim, shard_index, n_shards, lookahead)
+        # An armed parent flight recorder (also inherited through fork)
+        # arms a rings-only clone here: bounded tracer + wire ring, no
+        # bundle dumping — the parent gathers and stitches the evidence
+        # at the collect barrier.
+        from repro.obs.flightrec import active_recorder
+
+        recorder = None
+        if active_recorder() is not None:
+            from repro.obs.context import ObsContext, set_obs
+            from repro.obs.flightrec import FlightRecorder
+
+            parent_rec = active_recorder()
+            recorder = FlightRecorder(
+                out_dir=None,
+                label=f"shard-{shard_index}",
+                specs=parent_rec.specs,
+            )
+            set_obs(recorder.obs_context())
         program = build(ctx, *build_args) if build is not None else None
         sampler = None
         if parent_series is not None:
@@ -239,9 +321,12 @@ def _shard_worker(
             op = request[0]
             if op == "advance":
                 _op, deadline, inbound = request
-                for arrival, _src, _seq, _dst, port, payload in inbound:
+                for arrival, _src, _seq, _dst, port, payload, trace in inbound:
                     sim.schedule_at(
-                        arrival, _Delivery(ctx._handlers, port, payload, arrival)
+                        arrival,
+                        _Delivery(
+                            ctx._handlers, port, payload, arrival, ctx, trace
+                        ),
                     )
                 sim.run_until(deadline)
                 outbox = ctx._outbox
@@ -274,7 +359,21 @@ def _shard_worker(
                             "max_windows": sampler.run.max_windows,
                             "windows": sampler.run.windows,
                         }
-                conn.send(("collected", payload, snapshot, series))
+                flight = (
+                    recorder.shard_payload(shard_index)
+                    if recorder is not None
+                    else None
+                )
+                conn.send(
+                    (
+                        "collected",
+                        payload,
+                        snapshot,
+                        series,
+                        list(ctx.boundary_hops),
+                        flight,
+                    )
+                )
             elif op == "close":
                 conn.send(("closed",))
                 return
@@ -308,6 +407,13 @@ class ShardCollection:
     series: Optional[Any] = None
     #: The raw per-shard series payloads (label/window/windows dicts).
     series_per_shard: List[Optional[Dict[str, Any]]] = field(
+        default_factory=list
+    )
+    #: Per-shard boundary-hop logs (traced cross-shard sends).
+    hops_per_shard: List[List[Dict[str, Any]]] = field(default_factory=list)
+    #: Per-shard flight-recorder payloads (rings + trace records), when
+    #: the run had an armed recorder; else Nones.
+    flightrec_per_shard: List[Optional[Dict[str, Any]]] = field(
         default_factory=list
     )
 
@@ -475,7 +581,7 @@ class ShardedBackend:
         delay = _check_delay(delay, self.lookahead)
         arrival = self._control.now + delay
         self._inboxes[dst_shard].append(
-            (arrival, COORDINATOR, next(self._seq), dst_shard, port, payload)
+            (arrival, COORDINATOR, next(self._seq), dst_shard, port, payload, None)
         )
 
     # -- SimulationBackend: scheduling (control plane) ---------------------------
@@ -537,7 +643,7 @@ class ShardedBackend:
             self._shard_pending[index] = pending
             self._shard_next[index] = next_time
             for message in outbox:
-                arrival, _src, _seq, dst, port, payload = message
+                arrival, _src, _seq, dst, port, payload, _trace = message
                 if dst == COORDINATOR:
                     # arrival >= window start + lookahead >= window_end,
                     # and the control clock sits at window_end (or before,
@@ -613,10 +719,12 @@ class ShardedBackend:
             conn.send(("collect",))
         for index, (_process, conn) in enumerate(self._workers):
             reply = self._expect(index, conn.recv(), "collected")
-            _tag, payload, snapshot, series = reply
+            _tag, payload, snapshot, series, hops, flight = reply
             collection.results.append(payload)
             collection.telemetry_per_shard.append(snapshot)
             collection.series_per_shard.append(series)
+            collection.hops_per_shard.append(hops)
+            collection.flightrec_per_shard.append(flight)
         collection.telemetry = merge_telemetry(collection.telemetry_per_shard)
         if any(collection.series_per_shard):
             from repro.obs.timeseries import (
@@ -643,7 +751,20 @@ class ShardedBackend:
             if active is not None:
                 merged = collection.series
                 merged.label = active.next_label()
-                active.adopt_run(merged)
+                active.adopt_run(merged, observe=True)
+        if any(f is not None for f in collection.flightrec_per_shard):
+            from repro.obs.flightrec import active_recorder
+
+            recorder = active_recorder()
+            if recorder is not None:
+                all_hops = [
+                    hop
+                    for shard_hops in collection.hops_per_shard
+                    for hop in shard_hops
+                ]
+                recorder.absorb_shards(
+                    collection.flightrec_per_shard, all_hops
+                )
         return collection
 
 

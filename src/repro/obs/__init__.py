@@ -25,9 +25,16 @@ Everything is off by default and the disabled path costs a single
 from repro.obs.capture import (
     CapturedMessage,
     CaptureRecord,
+    RingSlimcapWriter,
     SlimcapReader,
     SlimcapWriter,
     is_slimcap,
+)
+from repro.obs.flightrec import (
+    FlightRecorder,
+    active_recorder,
+    record_flight,
+    set_recorder,
 )
 from repro.obs.causal import (
     STAGES,
@@ -63,9 +70,11 @@ __all__ = [
     "STAGES",
     "CaptureRecord",
     "CapturedMessage",
+    "FlightRecorder",
     "HealthEvent",
     "MessageTrace",
     "ObsContext",
+    "RingSlimcapWriter",
     "RunSeries",
     "SlimcapReader",
     "SlimcapWriter",
@@ -78,7 +87,10 @@ __all__ = [
     "TraceCollector",
     "UpdateTrace",
     "active_collection",
+    "active_recorder",
     "attach_sampler",
+    "record_flight",
+    "set_recorder",
     "chrome_trace_events",
     "collect_timeseries",
     "get_obs",

@@ -32,8 +32,10 @@ injection, like tcpdump at the sender.
 
 from __future__ import annotations
 
+import io
 import json
 import struct
+from collections import deque
 from pathlib import Path
 from typing import BinaryIO, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -43,6 +45,7 @@ from repro.errors import WireFormatError
 
 __all__ = [
     "SlimcapWriter",
+    "RingSlimcapWriter",
     "SlimcapReader",
     "CaptureRecord",
     "CapturedMessage",
@@ -161,6 +164,129 @@ class SlimcapWriter:
         self._handle.write(payload)
 
 
+class RingSlimcapWriter(SlimcapWriter):
+    """A bounded in-memory ``.slimcap`` recorder — the flight-recorder tap.
+
+    Keeps the most recent records in a byte-budgeted ring instead of a
+    file; when the budget overflows, the oldest records fall off the
+    front.  Endpoint interning is kept *out* of the ring (the table is
+    tiny and must survive eviction), and :meth:`dump_bytes` re-emits it
+    ahead of the surviving records so a dump is always a well-formed
+    capture — possibly minus frames that aged out.
+
+    Args:
+        max_bytes: Ring budget counting record headers + payloads.
+        tee: Optional file-backed :class:`SlimcapWriter` that also
+            receives every frame/trace (so ``--capture`` and the flight
+            recorder can share one tap).
+    """
+
+    def __init__(self, max_bytes: int = 1 << 20, tee: Optional[SlimcapWriter] = None):
+        # Deliberately skip SlimcapWriter.__init__: no file handle.
+        self.path = None
+        self._handle = None
+        self._endpoints: Dict[str, int] = {}
+        self.frames_written = 0
+        self.traces_written = 0
+        self.max_bytes = max_bytes
+        self.tee = tee
+        self._ring: deque = deque()
+        self._ring_bytes = 0
+        self.evicted = 0
+
+    def frame(self, now, src, dst, datagram, kind=KIND_FRAME):
+        super().frame(now, src, dst, datagram, kind)
+        if self.tee is not None:
+            self.tee.frame(now, src, dst, datagram, kind)
+
+    def trace(self, record, now=0.0):
+        super().trace(record, now)
+        if self.tee is not None:
+            self.tee.trace(record, now)
+
+    def _intern(self, address: str, now: float) -> int:
+        # Endpoint records never enter the evictable ring.
+        endpoint_id = self._endpoints.get(address)
+        if endpoint_id is None:
+            endpoint_id = len(self._endpoints)
+            self._endpoints[address] = endpoint_id
+        return endpoint_id
+
+    def _write(self, kind: int, now: float, payload: bytes) -> None:
+        cost = _RECORD_HEADER.size + len(payload)
+        self._ring.append((kind, now, payload))
+        self._ring_bytes += cost
+        while self._ring_bytes > self.max_bytes and len(self._ring) > 1:
+            _, _, old = self._ring.popleft()
+            self._ring_bytes -= _RECORD_HEADER.size + len(old)
+            self.evicted += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def ring_bytes(self) -> int:
+        return self._ring_bytes
+
+    def dump_bytes(self) -> bytes:
+        """Freeze the ring into well-formed ``.slimcap`` bytes."""
+        out = io.BytesIO()
+        out.write(MAGIC)
+        for address, endpoint_id in sorted(
+            self._endpoints.items(), key=lambda item: item[1]
+        ):
+            payload = _ENDPOINT_ID.pack(endpoint_id) + address.encode("utf-8")
+            out.write(_RECORD_HEADER.pack(KIND_ENDPOINT, 0.0, len(payload)))
+            out.write(payload)
+        for kind, when, payload in self._ring:
+            out.write(_RECORD_HEADER.pack(kind, when, len(payload)))
+            out.write(payload)
+        return out.getvalue()
+
+    def export_state(self) -> Dict[str, object]:
+        """Picklable ring state, for shipping across a shard boundary."""
+        return {
+            "endpoints": dict(self._endpoints),
+            "records": [
+                (kind, when, bytes(payload))
+                for kind, when, payload in self._ring
+            ],
+            "evicted": self.evicted,
+        }
+
+    def absorb_state(self, state: Dict[str, object]) -> None:
+        """Merge a shard's exported ring into this one (time-ordered)."""
+        remap = {
+            state["endpoints"][name]: self._intern(name, 0.0)
+            for name in state["endpoints"]
+        }
+        merged: List[Tuple[float, int, bytes]] = []
+        for kind, when, payload in state["records"]:
+            if kind != KIND_TRACE:
+                src_id, dst_id = _FRAME_HEADER.unpack_from(payload, 0)
+                payload = _FRAME_HEADER.pack(
+                    remap.get(src_id, src_id), remap.get(dst_id, dst_id)
+                ) + payload[_FRAME_HEADER.size:]
+            merged.append((when, kind, payload))
+        merged.extend(
+            (when, kind, payload) for kind, when, payload in self._ring
+        )
+        merged.sort(key=lambda item: item[0])
+        self._ring = deque((kind, when, payload) for when, kind, payload in merged)
+        self._ring_bytes = sum(
+            _RECORD_HEADER.size + len(payload) for _, _, payload in self._ring
+        )
+        self.evicted += int(state.get("evicted", 0))
+        while self._ring_bytes > self.max_bytes and len(self._ring) > 1:
+            _, _, old = self._ring.popleft()
+            self._ring_bytes -= _RECORD_HEADER.size + len(old)
+            self.evicted += 1
+
+    def close(self) -> None:
+        if self.tee is not None:
+            self.tee.close()
+
+
 class CaptureRecord:
     """One decoded ``.slimcap`` record."""
 
@@ -207,27 +333,54 @@ class CapturedMessage:
 
 
 class SlimcapReader:
-    """Parses a ``.slimcap`` file back into records and messages."""
+    """Parses a ``.slimcap`` file (or in-memory bytes) back into records.
 
-    def __init__(self, path: Union[str, Path]) -> None:
-        self.path = Path(path)
+    A truncated *trailing* record — a ring-buffer dump or interrupt-time
+    flush can cut mid-record — is tolerated: iteration stops cleanly at
+    the last complete record and :attr:`truncated` is set.  A bad magic
+    header still raises, since that means the file was never a capture.
+    """
+
+    def __init__(
+        self, path: Union[str, Path, None], data: Optional[bytes] = None
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self._data = data
+        #: True once records() hit a cut-off trailing record.
+        self.truncated = False
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlimcapReader":
+        """Read records out of in-memory capture bytes (ring dumps)."""
+        return cls(None, data=data)
+
+    def _open(self) -> BinaryIO:
+        if self._data is not None:
+            return io.BytesIO(self._data)
+        return self.path.open("rb")
+
+    @property
+    def name(self) -> str:
+        return str(self.path) if self.path is not None else "<memory>"
 
     def records(self) -> Iterator[CaptureRecord]:
         """Yield every record, endpoint names resolved."""
         endpoints: Dict[int, str] = {}
-        with self.path.open("rb") as handle:
+        with self._open() as handle:
             if handle.read(len(MAGIC)) != MAGIC:
-                raise WireFormatError(f"{self.path} is not a .slimcap file")
+                raise WireFormatError(f"{self.name} is not a .slimcap file")
             while True:
                 header = handle.read(_RECORD_HEADER.size)
                 if not header:
                     return
                 if len(header) < _RECORD_HEADER.size:
-                    raise WireFormatError(f"truncated record in {self.path}")
+                    self.truncated = True
+                    return
                 kind, when, length = _RECORD_HEADER.unpack(header)
                 payload = handle.read(length)
                 if len(payload) < length:
-                    raise WireFormatError(f"truncated payload in {self.path}")
+                    self.truncated = True
+                    return
                 if kind == KIND_ENDPOINT:
                     (endpoint_id,) = _ENDPOINT_ID.unpack_from(payload, 0)
                     endpoints[endpoint_id] = payload[

@@ -11,7 +11,11 @@ reassembly, and the console decode/paint loop.  Each hop records a
 sim-timestamp, and when the message finishes the collector partitions
 the interval ``[update start, paint]`` into consecutive stages:
 
-    encode | queueing | serialization | switch | decode | paint
+    encode | queueing | serialization | switch | shard_transit | decode | paint
+
+(``shard_transit`` is zero for same-shard messages; it absorbs the
+boundary-port hop when an update crosses a :class:`ShardContext`
+border, keeping the telescoping exact across process boundaries.)
 
 The stages telescope — each boundary timestamp is used exactly once as
 an end and once as a start — so their sum equals the observed
@@ -27,6 +31,7 @@ then reports the NACK round-trip as an explicit ``resend_wait`` stage.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -52,6 +57,7 @@ STAGES: Tuple[str, ...] = (
     "queueing",
     "serialization",
     "switch",
+    "shard_transit",
     "decode",
     "paint",
 )
@@ -88,6 +94,14 @@ class MessageTrace:
     superseded_at: Optional[float] = None
     dropped: bool = False
     completed: bool = False
+    #: Cross-shard continuity: a globally unique id (``"shard:trace_id"``)
+    #: assigned when the message is handed across a ShardContext boundary
+    #: port, so the exporting shard's partial and the adopting shard's
+    #: completion can be stitched back into one timeline.
+    gid: Optional[str] = None
+    cross_shard: bool = False
+    origin_shard: Optional[int] = None
+    handed_off_at: Optional[float] = None
     stages: Dict[str, float] = field(default_factory=dict)
     #: Per-packet link events: packet_id -> [(event, link, time), ...].
     packet_events: Dict[int, List[Tuple[str, str, float]]] = field(
@@ -110,7 +124,7 @@ class MessageTrace:
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (packet events elided — they are raw
         material for ``stages``, not part of the analysis surface)."""
-        return {
+        record: Dict[str, object] = {
             "trace_id": self.trace_id,
             "src": self.key[0],
             "dst": self.key[1],
@@ -131,6 +145,12 @@ class MessageTrace:
             "end_to_end": self.end_to_end,
             "stages": dict(self.stages),
         }
+        if self.gid is not None:
+            record["gid"] = self.gid
+            record["cross_shard"] = self.cross_shard
+            record["origin_shard"] = self.origin_shard
+            record["handed_off_at"] = self.handed_off_at
+        return record
 
     # -- internals ---------------------------------------------------------
     def _critical_packet_events(self) -> List[Tuple[str, str, float]]:
@@ -174,6 +194,16 @@ class MessageTrace:
             switch = (
                 (last_delivered - self.sent_at) - queue_wait - serialization
             )
+        # Whatever remains between send and reassembly after the wire
+        # stages is boundary-port transit (zero for same-shard messages:
+        # reassembly fires in the delivery event, so the telescoping is
+        # exact either way).
+        transit = 0.0
+        if self.reassembled_at is not None:
+            transit = (
+                (self.reassembled_at - self.sent_at)
+                - queue_wait - serialization - switch
+            )
         console_wait = 0.0
         decode = 0.0
         if self.decode_start_at is not None and self.reassembled_at is not None:
@@ -185,6 +215,7 @@ class MessageTrace:
             "queueing": queue_wait + console_wait,
             "serialization": serialization,
             "switch": switch,
+            "shard_transit": transit,
             "decode": decode,
             "paint": 0.0,
         }
@@ -256,13 +287,27 @@ class TraceCollector:
     inside the event that caused it, so a "current update" slot and
     plain dicts are race-free by construction.  Hook cost when a layer
     has no collector is a single ``is None`` check.
+
+    Args:
+        retain: When True (the default) every trace is kept for offline
+            analysis.  ``retain=False`` is flight-recorder mode: only
+            the most recent ``max_recent`` closed traces stay resident
+            and index dicts are pruned as traces finish, so the
+            collector's memory is bounded over arbitrarily long runs.
+        max_recent: Ring size for flight-recorder mode.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, retain: bool = True, max_recent: int = 512) -> None:
         self._ids = itertools.count(1)
         self._update_ids = itertools.count(1)
-        self.messages: List[MessageTrace] = []
-        self.updates: List[UpdateTrace] = []
+        self.retain = retain
+        self.max_recent = max_recent
+        if retain:
+            self.messages: List[MessageTrace] = []
+            self.updates: List[UpdateTrace] = []
+        else:
+            self.messages = deque(maxlen=max_recent)  # type: ignore[assignment]
+            self.updates = deque(maxlen=max_recent)  # type: ignore[assignment]
         self._open: Dict[MessageKey, MessageTrace] = {}
         self._by_id: Dict[int, MessageTrace] = {}
         self._awaiting_decode: Dict[int, MessageTrace] = {}
@@ -276,6 +321,10 @@ class TraceCollector:
         #: ``_by_id`` so packet hooks never confuse a probe id with a
         #: message trace.
         self._open_probes: Dict[int, Tuple[str, float]] = {}
+        #: Flight-recorder sinks: called with each closing MessageTrace /
+        #: each finished probe record.  None keeps the hooks free.
+        self.completed_sink = None
+        self.probe_sink = None
 
     # -- probe spans -------------------------------------------------------
     def begin_probe(self, name: str, now: float) -> int:
@@ -286,10 +335,25 @@ class TraceCollector:
         self._open_probes[trace_id] = (name, now)
         return trace_id
 
-    def end_probe(self, trace_id: int) -> None:
+    def end_probe(self, trace_id: int, now: Optional[float] = None) -> None:
         """Close a probe span; unknown ids are tolerated (the probe may
-        have been opened before a collector swap)."""
-        self._open_probes.pop(trace_id, None)
+        have been opened before a collector swap).  ``now`` feeds the
+        flight recorder's probe ring; callers that don't track sim time
+        may omit it."""
+        span = self._open_probes.pop(trace_id, None)
+        if span is not None and self.probe_sink is not None:
+            name, started_at = span
+            self.probe_sink(
+                {
+                    "trace_id": trace_id,
+                    "probe": name,
+                    "started_at": started_at,
+                    "ended_at": now,
+                    "duration": (
+                        now - started_at if now is not None else None
+                    ),
+                }
+            )
 
     def open_trace_ids(self) -> List[int]:
         """Ids of everything currently in flight — open probe spans plus
@@ -304,6 +368,9 @@ class TraceCollector:
         update = UpdateTrace(update_id=next(self._update_ids), started_at=now)
         self.updates.append(update)
         self._updates_by_id[update.update_id] = update
+        if not self.retain:
+            while len(self._updates_by_id) > self.max_recent:
+                self._updates_by_id.pop(next(iter(self._updates_by_id)))
         self._current_update = update
         return update.update_id
 
@@ -360,6 +427,11 @@ class TraceCollector:
                 if owner is not None:
                     owner.traces.append(trace)
                     self._update_by_message[key] = owner
+        if not self.retain:
+            while len(self._update_by_message) > self.max_recent:
+                self._update_by_message.pop(
+                    next(iter(self._update_by_message))
+                )
         return trace.trace_id
 
     def message_superseded(self, key: MessageKey, now: float) -> None:
@@ -368,6 +440,8 @@ class TraceCollector:
         trace = self._open.pop(key, None)
         if trace is not None:
             trace.superseded_at = now
+            if not self.retain:
+                self._by_id.pop(trace.trace_id, None)
 
     def reassembled(self, key: MessageKey, command: cmd.Command, now: float) -> None:
         """A message completed reassembly at its receiving endpoint."""
@@ -379,7 +453,7 @@ class TraceCollector:
             # Stays open until the console paints it.
             self._awaiting_decode[id(command)] = trace
         else:
-            trace._close()
+            self._finish(trace)
 
     # -- console hooks -----------------------------------------------------
     def decode_start(self, command: cmd.Command, now: float) -> None:
@@ -391,13 +465,15 @@ class TraceCollector:
         trace = self._awaiting_decode.pop(id(command), None)
         if trace is not None:
             trace.painted_at = now
-            trace._close()
+            self._finish(trace)
 
     def command_dropped(self, command: cmd.Command, now: float) -> None:
         """The console queue overflowed; the trace never completes."""
         trace = self._awaiting_decode.pop(id(command), None)
         if trace is not None:
             trace.dropped = True
+            if not self.retain:
+                self._by_id.pop(trace.trace_id, None)
 
     # -- link taps ---------------------------------------------------------
     def packet_event(self, trace_id, packet_id, kind, link, now) -> None:
@@ -407,7 +483,103 @@ class TraceCollector:
                 (kind, link, now)
             )
 
+    # -- shard boundaries --------------------------------------------------
+    def boundary_export(
+        self, key: MessageKey, origin_shard: int, now: float
+    ) -> Optional[Dict[str, object]]:
+        """A message is leaving this shard over a boundary port.
+
+        Marks the open trace as handed off (it stays open — the local
+        partial ships to the stitcher at the collect barrier) and
+        returns the picklable context that travels with the payload so
+        the receiving shard can adopt the trace with the same global id
+        and the original birth timestamps.  Sim clocks advance in
+        lockstep under conservative lookahead, so the timestamps stay
+        directly comparable across shards.
+        """
+        trace = self._open.get(key)
+        if trace is None:
+            return None
+        trace.handed_off_at = now
+        trace.origin_shard = origin_shard
+        if trace.gid is None:
+            trace.gid = f"{origin_shard}:{trace.trace_id}"
+        return {
+            "gid": trace.gid,
+            "trace_id": trace.trace_id,
+            "src": key[0],
+            "dst": key[1],
+            "seq": key[2],
+            "opcode": trace.opcode,
+            "update_id": trace.update_id,
+            "update_start": trace.update_start,
+            "sent_at": trace.sent_at,
+            "wire_bytes": trace.wire_bytes,
+            "payload_bytes": trace.payload_bytes,
+            "recovery": trace.recovery,
+            "recovery_of": trace.recovery_of,
+            "origin_shard": origin_shard,
+            "handed_off_at": now,
+        }
+
+    def boundary_adopt(
+        self, context: Dict[str, object], command: cmd.Command, now: float
+    ) -> int:
+        """The receiving shard's half of a cross-shard message.
+
+        Creates a local continuation trace carrying the exporter's
+        global id and birth timestamps, reassembled *now*; display
+        commands stay open until the console paints them, so the stage
+        partition (encode | shard_transit | queueing | decode) still
+        telescopes to end-to-end exactly.
+        """
+        key: MessageKey = (
+            str(context["src"]), str(context["dst"]), int(context["seq"])
+        )
+        trace = MessageTrace(
+            trace_id=next(self._ids),
+            key=key,
+            opcode=str(context["opcode"]),
+            seq=key[2],
+            update_id=None,
+            update_start=float(context["update_start"]),
+            sent_at=float(context["sent_at"]),
+            wire_bytes=int(context["wire_bytes"]),
+            payload_bytes=int(context["payload_bytes"]),
+            recovery=bool(context.get("recovery", False)),
+            recovery_of=context.get("recovery_of"),
+        )
+        trace.gid = context.get("gid")
+        trace.cross_shard = True
+        trace.origin_shard = context.get("origin_shard")
+        trace.reassembled_at = now
+        self.messages.append(trace)
+        self._by_id[trace.trace_id] = trace
+        if isinstance(command, cmd.DisplayCommand):
+            self._awaiting_decode[id(command)] = trace
+        else:
+            self._finish(trace)
+        return trace.trace_id
+
+    def open_traces(self) -> List[MessageTrace]:
+        """Every message trace still in flight (unreassembled or awaiting
+        paint), for shipping partials to the flight-recorder stitcher."""
+        seen: Dict[int, MessageTrace] = {}
+        for trace in self._open.values():
+            seen[trace.trace_id] = trace
+        for trace in self._awaiting_decode.values():
+            seen[trace.trace_id] = trace
+        return [seen[trace_id] for trace_id in sorted(seen)]
+
     # -- results -----------------------------------------------------------
+    def _finish(self, trace: MessageTrace) -> None:
+        trace._close()
+        if not self.retain:
+            self._by_id.pop(trace.trace_id, None)
+            self._update_by_message.pop(trace.key, None)
+        if self.completed_sink is not None:
+            self.completed_sink(trace)
+
     def completed_messages(self) -> List[MessageTrace]:
         return [t for t in self.messages if t.completed]
 

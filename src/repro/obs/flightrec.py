@@ -1,0 +1,572 @@
+"""The flight recorder: always-on, bounded-memory post-mortem evidence.
+
+The SLO engine (:mod:`repro.obs.slo`) can say a keystroke-echo spike
+happened; this module makes sure that when it does, the *evidence* —
+the wire frames around the spike, the implicated causal traces, the
+telemetry windows, what the engine was doing — still exists.  Everything
+is a ring: a byte-budgeted :class:`RingSlimcapWriter` over tapped
+frames, a deque of recently closed trace records, the last K telemetry
+windows, and coarse engine event-cohort marks.  Rings cost O(1) per
+record and nothing at all on untapped paths, so the recorder is safe to
+arm by default.
+
+When a trigger fires — a streaming SLO violation, a loss-burst or
+tier-thrash detector, a KeyboardInterrupt, or a crash — the rings are
+frozen into a self-describing ``.slimpm`` bundle: a zip holding
+
+* ``manifest.json`` — what fired, when, counts, config snapshot;
+* ``ring.slimcap``  — the frozen wire ring (a valid capture file);
+* ``traces.jsonl``  — closed trace/probe records plus open partials;
+* ``timeseries.jsonl`` / ``slo.jsonl`` — the window slice and its
+  verdict, in the standard schemas;
+* ``engine.json``   — event-cohort marks and phase notes;
+* ``shards/…`` + ``stitched.jsonl`` — per-shard rings gathered at the
+  collect barrier and cross-shard traces stitched by global id.
+
+``python -m repro.tools.postmortem`` triages the result.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+import zipfile
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.netsim.engine import set_default_monitor
+from repro.obs.capture import RingSlimcapWriter
+from repro.obs.causal import TraceCollector
+from repro.obs.context import ObsContext
+from repro.obs.slo import (
+    INTERACTIVITY_SLOS,
+    LOSS_BURST_MIN,
+    TIER_THRASH_MIN,
+    SloEngine,
+    SloSpec,
+)
+from repro.obs.timeseries import RunSeries, TimeSeriesCollection, window_value
+
+__all__ = [
+    "FlightRecorder",
+    "active_recorder",
+    "set_recorder",
+    "record_flight",
+    "BUNDLE_SUFFIX",
+    "BUNDLE_FORMAT",
+    "BUNDLE_VERSION",
+]
+
+BUNDLE_FORMAT = "slimpm"
+BUNDLE_VERSION = 1
+BUNDLE_SUFFIX = ".slimpm"
+
+#: Counter prefixes whose windowed deltas constitute a loss burst.
+_LOSS_PREFIXES = ("net.link.packets_lost", "net.link.packets_dropped")
+_TIER_PREFIX = "bw.tier.transitions"
+
+_SLO_FAMILY = {
+    "counter_rate": "counters",
+    "counter_delta": "counters",
+    "gauge": "gauges",
+    "histogram_quantile": "histograms",
+    "histogram_mean": "histograms",
+}
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-") or "run"
+
+
+class _MarkMonitor:
+    """Chains an inner monitor callback and drops engine-cohort marks
+    into the recorder's ring on the same cadence."""
+
+    def __init__(self, inner, recorder: "FlightRecorder") -> None:
+        self._inner = inner
+        self._recorder = recorder
+        self.every = getattr(inner, "every", 5000)
+
+    def __call__(self, sim) -> None:
+        self._inner(sim)
+        self._recorder.engine_mark(sim)
+
+
+class FlightRecorder:
+    """Bounded rings over a run's observable surfaces, frozen on anomaly.
+
+    Args:
+        out_dir: Where ``.slimpm`` bundles land.  ``None`` makes this a
+            rings-only recorder (the shard-worker mode): triggers are
+            recorded but nothing is written — the parent stitches.
+        label: Run label stamped on bundles and filenames.
+        specs: SLO set checked stream-wise against arriving windows.
+        capture_bytes: Byte budget for the wire-frame ring.
+        max_traces: Closed trace/probe records kept resident.
+        max_windows: Telemetry windows kept resident.
+        max_bundles: Dump at most this many bundles per run (triggers
+            past the cap are still recorded in :attr:`triggers`).
+        config: Snapshot of run configuration for the manifest.
+    """
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path, None] = ".",
+        label: str = "run",
+        specs: Sequence[SloSpec] = INTERACTIVITY_SLOS,
+        capture_bytes: int = 1 << 20,
+        max_traces: int = 512,
+        max_windows: int = 128,
+        max_marks: int = 256,
+        max_bundles: int = 3,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.label = label
+        self.specs = tuple(specs)
+        self.capture = RingSlimcapWriter(max_bytes=capture_bytes)
+        self.tracer = TraceCollector(retain=False, max_recent=max_traces)
+        self.attach_tracer(self.tracer)
+        self.traces: deque = deque(maxlen=max_traces)
+        self.windows: deque = deque(maxlen=max_windows)
+        self.marks: deque = deque(maxlen=max_marks)
+        self.triggers: List[Dict[str, Any]] = []
+        self.bundles: List[Path] = []
+        self.max_bundles = max_bundles
+        self.config = dict(config or {})
+        self.armed = True
+        self._tripped: Dict[Tuple[str, str], int] = {}
+        self._bundle_seq = itertools.count(1)
+        self._mark_last: Dict[int, int] = {}
+        self._phase: Optional[str] = None
+        #: Shard evidence absorbed at the collect barrier.
+        self.shard_traces: List[Dict[str, Any]] = []
+        self.shard_hops: List[Dict[str, Any]] = []
+        self.shard_marks: List[Dict[str, Any]] = []
+        self._shards_absorbed: List[int] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach_tracer(self, tracer: TraceCollector) -> None:
+        """Point the recorder's trace/probe rings at ``tracer`` (the
+        runner swaps in a retaining collector when --trace-events or
+        --capture need the full history)."""
+        self.tracer = tracer
+        tracer.completed_sink = self._trace_closed
+        tracer.probe_sink = self._probe_closed
+
+    def obs_context(self) -> ObsContext:
+        """An ObsContext whose tracer and capture feed the rings."""
+        return ObsContext(tracer=self.tracer, capture=self.capture)
+
+    def _trace_closed(self, trace) -> None:
+        self.traces.append(trace.to_dict())
+
+    def _probe_closed(self, record: Dict[str, Any]) -> None:
+        self.traces.append(dict(record, probe=record["probe"]))
+
+    # -- telemetry window stream -------------------------------------------
+    def observe_window(self, run_label: str, record: Dict[str, Any]) -> None:
+        """One telemetry window just closed; ring it and check triggers."""
+        if not self.armed:
+            return
+        self.windows.append((run_label, record))
+        self._check_window(run_label, record)
+
+    def observe_run(self, run: RunSeries) -> None:
+        """An already-windowed run was adopted (merged shard series at a
+        collect barrier); stream its windows through the checks."""
+        for record in run.windows:
+            self.observe_window(run.label, record)
+
+    def _check_window(self, run_label: str, record: Dict[str, Any]) -> None:
+        for spec in self.specs:
+            family = record.get(_SLO_FAMILY[spec.kind], {})
+            for key in family:
+                if not spec.matches(key):
+                    continue
+                value = window_value(record, key, spec.kind, spec.quantile)
+                # Tight-budget specs trigger on the first violating
+                # window; loose ones (tier residency burns 25% budget
+                # by design) need a 3-window streak first.  Each
+                # (run, spec) pair fires at most once — the bundle
+                # already freezes everything there is to see.
+                required = 1 if spec.budget <= 0.10 else 3
+                tripped = (run_label, spec.name)
+                streak = self._tripped.get(tripped, 0)
+                if value is None or spec.passes(value):
+                    if 0 < streak < required:
+                        self._tripped.pop(tripped)
+                    continue
+                streak += 1
+                self._tripped[tripped] = streak
+                if streak == required:
+                    self.trigger(
+                        spec.event or f"{spec.name}_violation",
+                        run=run_label,
+                        series=key,
+                        value=value,
+                        threshold=spec.threshold,
+                        trace_ids=list(record.get("trace_ids", [])),
+                        detail=spec.description,
+                        window=(record["t0"], record["t1"]),
+                    )
+        lost = sum(
+            delta
+            for key, delta in record.get("counters", {}).items()
+            if key.startswith(_LOSS_PREFIXES)
+        )
+        if lost >= LOSS_BURST_MIN and not self._tripped.get(
+            (run_label, "loss_burst")
+        ):
+            self._tripped[(run_label, "loss_burst")] = 1
+            self.trigger(
+                "loss_burst",
+                run=run_label,
+                series="net.link.packets_lost+dropped",
+                value=float(lost),
+                threshold=float(LOSS_BURST_MIN),
+                trace_ids=list(record.get("trace_ids", [])),
+                detail=f"{lost:g} packets lost/dropped in one window",
+                window=(record["t0"], record["t1"]),
+            )
+        thrash = sum(
+            delta
+            for key, delta in record.get("counters", {}).items()
+            if key.startswith(_TIER_PREFIX)
+        )
+        if thrash >= TIER_THRASH_MIN and not self._tripped.get(
+            (run_label, "tier_thrash")
+        ):
+            self._tripped[(run_label, "tier_thrash")] = 1
+            self.trigger(
+                "tier_thrash",
+                run=run_label,
+                series=_TIER_PREFIX,
+                value=float(thrash),
+                threshold=float(TIER_THRASH_MIN),
+                trace_ids=list(record.get("trace_ids", [])),
+                detail=f"{thrash:g} tier transitions in one window",
+                window=(record["t0"], record["t1"]),
+            )
+
+    # -- engine cohort marks -----------------------------------------------
+    def engine_mark(self, sim) -> None:
+        """Record a coarse (sim-time, events) cohort point.  Called from
+        the chained monitor on its existing cadence — no extra engine
+        cost beyond the monitor the run already had."""
+        key = id(sim)
+        events = sim.events_processed
+        if events - self._mark_last.get(key, -(1 << 60)) < 20000:
+            return
+        self._mark_last[key] = events
+        self.marks.append(
+            {"phase": self._phase, "t": sim.now, "events": events}
+        )
+
+    def note(self, phase: str) -> None:
+        """Annotate subsequent marks/triggers with a phase label (the
+        wan_matrix cell, the fleet segment, ...)."""
+        self._phase = phase
+        self.marks.append({"phase": phase, "note": True})
+
+    # -- triggering --------------------------------------------------------
+    def trigger(
+        self,
+        kind: str,
+        run: Optional[str] = None,
+        series: Optional[str] = None,
+        value: Optional[float] = None,
+        threshold: Optional[float] = None,
+        trace_ids: Sequence[int] = (),
+        detail: str = "",
+        window: Optional[Tuple[float, float]] = None,
+    ) -> Optional[Path]:
+        """An anomaly fired: freeze the rings into a bundle.
+
+        Returns the bundle path, or None when nothing was written (the
+        rings-only shard mode, the bundle cap, or empty rings — an
+        interrupt before any evidence existed is not worth a file).
+        """
+        record: Dict[str, Any] = {
+            "kind": kind,
+            "run": run,
+            "series": series,
+            "value": value,
+            "threshold": threshold,
+            "trace_ids": list(trace_ids),
+            "detail": detail,
+            "phase": self._phase,
+        }
+        if window is not None:
+            record["t0"], record["t1"] = window
+        self.triggers.append(record)
+        if self.out_dir is None:
+            return None
+        if len(self.bundles) >= self.max_bundles:
+            return None
+        if not self._has_evidence():
+            return None
+        path = self._dump_bundle(record)
+        record["bundle"] = str(path)
+        return path
+
+    def _has_evidence(self) -> bool:
+        return bool(
+            len(self.capture)
+            or self.traces
+            or self.windows
+            or self.shard_traces
+        )
+
+    # -- shard stitching ---------------------------------------------------
+    def shard_payload(self, shard_index: int) -> Dict[str, Any]:
+        """The picklable evidence a shard worker ships at the collect
+        barrier: its ring state, closed + open trace records, and marks."""
+        traces = list(self.traces)
+        traces.extend(
+            dict(trace.to_dict(), open=True)
+            for trace in self.tracer.open_traces()
+        )
+        return {
+            "shard": shard_index,
+            "capture": self.capture.export_state(),
+            "traces": traces,
+            "marks": list(self.marks),
+            "triggers": list(self.triggers),
+        }
+
+    def absorb_shards(
+        self,
+        payloads: Iterable[Dict[str, Any]],
+        hops: Iterable[Dict[str, Any]] = (),
+    ) -> None:
+        """Merge per-shard evidence gathered at a collect barrier into
+        the parent's rings and stitch cross-shard traces by global id."""
+        for payload in payloads:
+            if payload is None:
+                continue
+            shard = payload["shard"]
+            self._shards_absorbed.append(shard)
+            self.capture.absorb_state(payload["capture"])
+            for trace in payload["traces"]:
+                self.shard_traces.append(dict(trace, shard=shard))
+            for mark in payload["marks"]:
+                self.shard_marks.append(dict(mark, shard=shard))
+            for trig in payload.get("triggers", ()):
+                self.triggers.append(dict(trig, shard=shard))
+        self.shard_hops.extend(hops)
+
+    def stitched_traces(self) -> List[Dict[str, Any]]:
+        """Cross-shard traces reassembled by gid: the exporting shard's
+        partial, the adopting shard's completion, and the boundary hops
+        in between, as one record per global id."""
+        by_gid: Dict[str, Dict[str, Any]] = {}
+
+        def visit(record: Dict[str, Any], shard: Optional[int]) -> None:
+            gid = record.get("gid")
+            if not gid:
+                return
+            entry = by_gid.setdefault(
+                gid, {"gid": gid, "segments": [], "hops": []}
+            )
+            segment = dict(record)
+            if shard is not None:
+                segment.setdefault("shard", shard)
+            entry["segments"].append(segment)
+
+        for record in self.traces:
+            visit(record, None)
+        for record in self.shard_traces:
+            visit(record, record.get("shard"))
+        for hop in self.shard_hops:
+            gid = hop.get("gid")
+            if gid in by_gid:
+                by_gid[gid]["hops"].append(hop)
+        stitched = []
+        for gid in sorted(by_gid):
+            entry = by_gid[gid]
+            completed = [
+                s for s in entry["segments"] if s.get("completed")
+            ]
+            entry["completed"] = bool(completed)
+            if completed:
+                entry["end_to_end"] = completed[-1]["end_to_end"]
+                entry["stages"] = completed[-1]["stages"]
+            stitched.append(entry)
+        return stitched
+
+    # -- bundle writing ----------------------------------------------------
+    def _timeseries(self) -> TimeSeriesCollection:
+        collection = TimeSeriesCollection()
+        runs: Dict[str, RunSeries] = {}
+        for run_label, record in self.windows:
+            run = runs.get(run_label)
+            if run is None:
+                width = max(record["t1"] - record["t0"], 1e-9)
+                run = RunSeries(run_label, window=width)
+                runs[run_label] = run
+                collection.adopt_run(run)
+            run.windows.append(record)
+        return collection
+
+    def _dump_bundle(self, reason: Dict[str, Any]) -> Path:
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        seq = next(self._bundle_seq)
+        path = self.out_dir / f"{_slug(self.label)}-{seq:03d}{BUNDLE_SUFFIX}"
+        collection = self._timeseries()
+        report = SloEngine(self.specs).evaluate(collection)
+        traces = list(self.traces)
+        traces.extend(
+            dict(trace.to_dict(), open=True)
+            for trace in self.tracer.open_traces()
+        )
+        stitched = self.stitched_traces()
+        manifest = {
+            "format": BUNDLE_FORMAT,
+            "version": BUNDLE_VERSION,
+            "label": self.label,
+            "reason": reason,
+            "triggers": list(self.triggers),
+            "specs": [spec.to_dict() for spec in self.specs],
+            "config": self.config,
+            "counts": {
+                "ring_frames": len(self.capture),
+                "ring_bytes": self.capture.ring_bytes,
+                "frames_evicted": self.capture.evicted,
+                "traces": len(traces),
+                "windows": len(self.windows),
+                "marks": len(self.marks),
+                "shards": sorted(self._shards_absorbed),
+                "stitched": len(stitched),
+            },
+        }
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr(
+                "manifest.json", json.dumps(manifest, indent=2, default=str)
+            )
+            archive.writestr("ring.slimcap", self.capture.dump_bytes())
+            archive.writestr(
+                "traces.jsonl",
+                "".join(
+                    json.dumps(t, separators=(",", ":"), default=str) + "\n"
+                    for t in traces
+                ),
+            )
+            archive.writestr(
+                "timeseries.jsonl",
+                "".join(
+                    json.dumps(r, separators=(",", ":")) + "\n"
+                    for r in collection.to_records()
+                ),
+            )
+            archive.writestr(
+                "slo.jsonl",
+                "".join(
+                    json.dumps(r, separators=(",", ":")) + "\n"
+                    for r in report.to_records()
+                ),
+            )
+            archive.writestr(
+                "engine.json",
+                json.dumps(
+                    {
+                        "marks": list(self.marks),
+                        "shard_marks": self.shard_marks,
+                    },
+                    indent=2,
+                ),
+            )
+            if self.shard_traces or self.shard_hops:
+                archive.writestr(
+                    "stitched.jsonl",
+                    "".join(
+                        json.dumps(s, separators=(",", ":"), default=str)
+                        + "\n"
+                        for s in stitched
+                    ),
+                )
+                archive.writestr(
+                    "shards/traces.jsonl",
+                    "".join(
+                        json.dumps(t, separators=(",", ":"), default=str)
+                        + "\n"
+                        for t in self.shard_traces
+                    ),
+                )
+                archive.writestr(
+                    "shards/hops.jsonl",
+                    "".join(
+                        json.dumps(h, separators=(",", ":")) + "\n"
+                        for h in self.shard_hops
+                    ),
+                )
+        self.bundles.append(path)
+        return path
+
+    # -- status ------------------------------------------------------------
+    @property
+    def last_bundle(self) -> Optional[Path]:
+        return self.bundles[-1] if self.bundles else None
+
+    def status_line(self) -> str:
+        """One dashboard-footer line: armed state, trigger count, last
+        bundle path."""
+        if not self.triggers:
+            return "armed" if self.armed else "disarmed"
+        latest = self.triggers[-1]
+        where = latest.get("run") or latest.get("phase") or ""
+        head = f"TRIGGERED x{len(self.triggers)} ({latest['kind']}"
+        head += f" {where})" if where else ")"
+        if self.last_bundle is not None:
+            head += f" | last bundle: {self.last_bundle}"
+        return head
+
+
+# -- ambient seam ----------------------------------------------------------
+_active: Optional[FlightRecorder] = None
+
+
+def active_recorder() -> Optional[FlightRecorder]:
+    """The armed flight recorder, or None.  Shard workers inherit the
+    parent's through fork and build their own rings-only clone."""
+    return _active
+
+
+def set_recorder(
+    recorder: Optional[FlightRecorder],
+) -> Optional[FlightRecorder]:
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+@contextmanager
+def record_flight(recorder: FlightRecorder):
+    """Arm ``recorder`` for the duration of the block.
+
+    Installs the ambient seam (window observers, the dashboard footer,
+    and shard workers find the recorder there) and chains the default
+    monitor factory so engine cohort marks ride the existing monitor
+    cadence.  When no inner monitor exists the factory returns None,
+    keeping the engine's specialized no-monitor fast loop — arming the
+    recorder adds zero per-event cost to an unobserved run.
+    """
+    previous_recorder = set_recorder(recorder)
+    previous_factory = set_default_monitor(None)
+    if previous_factory is not None:
+        def factory(sim):
+            inner = previous_factory(sim)
+            if inner is None:
+                return None
+            return _MarkMonitor(inner, recorder)
+
+        set_default_monitor(factory)
+    try:
+        yield recorder
+    finally:
+        set_default_monitor(previous_factory)
+        set_recorder(previous_recorder)

@@ -402,10 +402,19 @@ class TimeSeriesCollection:
         self.runs.append(run)
         return run
 
-    def adopt_run(self, run: RunSeries) -> None:
+    def adopt_run(self, run: RunSeries, observe: bool = False) -> None:
         """Append an externally built run (merged shard series, derived
-        experiment timelines)."""
+        experiment timelines).  ``observe=True`` additionally streams
+        the run's windows past the armed flight recorder — the path for
+        windows that were sampled out-of-process (shard workers) and
+        only become visible at a collect barrier."""
         self.runs.append(run)
+        if observe:
+            from repro.obs.flightrec import active_recorder
+
+            recorder = active_recorder()
+            if recorder is not None:
+                recorder.observe_run(run)
 
     def prune_empty(self) -> int:
         """Drop runs that stored no windows; returns how many."""
@@ -652,6 +661,13 @@ class TimeSeriesSampler:
             if trace_ids:
                 record["trace_ids"] = trace_ids
             self.run.append_window(record)
+            # Stream the closed window past the flight recorder so SLO
+            # violations trigger bundle dumps while the run is live.
+            from repro.obs.flightrec import active_recorder
+
+            recorder = active_recorder()
+            if recorder is not None:
+                recorder.observe_window(self.run.label, record)
         self._window_start = edge
         # The run's width may have doubled while appending (coalescing).
         self._boundary = edge + self.run.window

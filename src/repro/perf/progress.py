@@ -304,10 +304,19 @@ class DashboardMonitor(ProgressMonitor):
             )
         return rows
 
+    def _flightrec_row(self) -> List[str]:
+        from repro.obs.flightrec import active_recorder
+
+        recorder = active_recorder()
+        if recorder is None:
+            return []
+        return [f"  flightrec: {recorder.status_line()}"]
+
     def paint(self, sim: SimulationBackend, now: Optional[float] = None) -> None:
         now = time.perf_counter() if now is None else now
         lines = [" | ".join(self._status_fields(sim, now))]
         lines.extend(self._series_rows())
+        lines.extend(self._flightrec_row())
         out = []
         if self._lines_painted:
             # Back to the top of the previously painted block.

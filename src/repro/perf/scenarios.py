@@ -109,8 +109,7 @@ def wire_roundtrip(ctx: ScenarioContext) -> Dict[str, float]:
     return {"messages": messages, "packets": packets, "bytes": wire_bytes}
 
 
-@scenario("netsim_events", title="Discrete-event engine: timer-chain event loop")
-def netsim_events(ctx: ScenarioContext) -> Dict[str, float]:
+def _netsim_events_body(ctx: ScenarioContext) -> Dict[str, float]:
     total_events = ctx.scale(full=240_000, quick=50_000)
     chains = 64
     sim = LocalBackend()
@@ -130,6 +129,27 @@ def netsim_events(ctx: ScenarioContext) -> Dict[str, float]:
         sim.schedule(0.0, make_chain(0.0005 + 0.000013 * index))
     sim.run()
     return {"sim_events": sim.events_processed, "sim_seconds": sim.now}
+
+
+@scenario("netsim_events", title="Discrete-event engine: timer-chain event loop")
+def netsim_events(ctx: ScenarioContext) -> Dict[str, float]:
+    return _netsim_events_body(ctx)
+
+
+@scenario(
+    "netsim_events_rec",
+    title="Discrete-event engine with the flight recorder armed",
+)
+def netsim_events_rec(ctx: ScenarioContext) -> Dict[str, float]:
+    # The guard for the recorder's happy-path claim: arming must not
+    # disturb the engine's no-monitor fast loop (the rings only see
+    # what taps feed them, and a bare engine taps nothing).
+    from repro.obs import FlightRecorder, record_flight, use_obs
+
+    recorder = FlightRecorder(out_dir=None, label="perf-netsim")
+    with record_flight(recorder):
+        with use_obs(recorder.obs_context()):
+            return _netsim_events_body(ctx)
 
 
 @scenario("switch_forward", title="Switched star fabric: packet forwarding")
@@ -327,8 +347,7 @@ def yardstick_load(ctx: ScenarioContext) -> Dict[str, float]:
     }
 
 
-@scenario("e2e_session", title="Full session: driver -> wire -> fabric -> console")
-def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
+def _e2e_session_body(ctx: ScenarioContext) -> Dict[str, float]:
     width, height = (320, 240) if ctx.quick else (640, 480)
     repeats = ctx.scale(full=3, quick=2)
     sim = LocalBackend()
@@ -380,6 +399,28 @@ def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
         "bytes": stats.wire_bytes,
         "pixels_painted": pixels,
     }
+
+
+@scenario("e2e_session", title="Full session: driver -> wire -> fabric -> console")
+def e2e_session(ctx: ScenarioContext) -> Dict[str, float]:
+    return _e2e_session_body(ctx)
+
+
+@scenario(
+    "e2e_session_rec",
+    title="Full session with the flight recorder armed (rings live)",
+)
+def e2e_session_rec(ctx: ScenarioContext) -> Dict[str, float]:
+    # Same pixel-exact session, but every wire frame lands in the
+    # byte-budgeted ring and every completed trace in the trace ring —
+    # the real cost of arming the recorder on an observed run.
+    from repro.obs import FlightRecorder, record_flight, use_obs
+
+    recorder = FlightRecorder(out_dir=None, label="perf-e2e")
+    with record_flight(recorder):
+        with use_obs(recorder.obs_context()):
+            return _e2e_session_body(ctx)
+
 
 @scenario("wan_matrix", title="WAN adversity cell: cellular overload, static vs adaptive")
 def wan_matrix(ctx: ScenarioContext) -> Dict[str, float]:

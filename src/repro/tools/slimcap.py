@@ -102,6 +102,7 @@ def summarize(reader: SlimcapReader) -> Dict[str, object]:
         "start": first_time if first_time is not None else 0.0,
         "end": last_time if last_time is not None else 0.0,
         "embedded_traces": len(reader.traces()),
+        "truncated": reader.truncated,
     }
 
 
@@ -161,6 +162,11 @@ def timeline_events(reader: SlimcapReader) -> List[Tuple[float, str]]:
 def _print_summary(summary: Dict[str, object]) -> None:
     start, end = summary["start"], summary["end"]
     print(f"capture: {summary['path']}")
+    if summary.get("truncated"):
+        print(
+            "warning: capture ends mid-record (interrupted run?); "
+            "trailing partial record ignored"
+        )
     print(
         f"span: {start * 1000:.1f} ms .. {end * 1000:.1f} ms  "
         f"({(end - start) * 1000:.1f} ms)"

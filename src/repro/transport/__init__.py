@@ -22,6 +22,7 @@ from repro.transport.console import (
     PendingRecovery,
 )
 from repro.transport.damage import DamageMap
+from repro.transport.relay import DisplayRelayReceiver, DisplayRelaySender
 from repro.transport.server import (
     DEFAULT_STATUS_INTERVAL,
     RECOVERY_TILE,
@@ -31,6 +32,8 @@ from repro.transport.server import (
 
 __all__ = [
     "DisplayChannel",
+    "DisplayRelayReceiver",
+    "DisplayRelaySender",
     "ConsoleChannel",
     "ConsoleChannelStats",
     "PendingRecovery",
