@@ -61,15 +61,14 @@ def run_echo(app_seconds: float = ECHO_APP_SECONDS) -> EchoRun:
     timings = {}
 
     def send_command(command: cmd.DisplayCommand) -> None:
-        for datagram in codec.fragment(command):
-            network.send(
-                Packet(
-                    src="server",
-                    dst="console",
-                    nbytes=datagram.wire_nbytes,
-                    payload=datagram,
+        network.send_burst(
+            [
+                Packet.acquire(
+                    "server", "console", datagram.wire_nbytes, payload=datagram
                 )
-            )
+                for datagram in codec.fragment(command)
+            ]
+        )
 
     # The server side of the echo is the real driver path: the glyph
     # render arrives as a TEXT paint op and the (accounting-only)
@@ -95,15 +94,14 @@ def run_echo(app_seconds: float = ECHO_APP_SECONDS) -> EchoRun:
     keystroke = cmd.KeyEvent(code=0x41, pressed=True)
     key_datagrams = WireCodec().fragment(keystroke)
     start = sim.now
-    for datagram in key_datagrams:
-        network.send(
-            Packet(
-                src="console",
-                dst="server",
-                nbytes=datagram.wire_nbytes,
-                payload=datagram,
+    network.send_burst(
+        [
+            Packet.acquire(
+                "console", "server", datagram.wire_nbytes, payload=datagram
             )
-        )
+            for datagram in key_datagrams
+        ]
+    )
     sim.run()
     if console.stats.commands_processed == 0:
         raise RuntimeError("echo command never reached the console")

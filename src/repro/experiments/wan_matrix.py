@@ -184,16 +184,16 @@ class CellProbe:
     # -- the paced display stream -------------------------------------------
     def _emit(self) -> None:
         self._carry_bytes += self._rate_bps / UPDATE_HZ / 8.0
+        burst = []
         while self._carry_bytes >= PACKET_NBYTES:
             self._carry_bytes -= PACKET_NBYTES
-            self.network.send(
-                Packet(
-                    src="server",
-                    dst="console",
-                    nbytes=PACKET_NBYTES,
-                    flow="display",
+            burst.append(
+                Packet.acquire(
+                    "server", "console", PACKET_NBYTES, flow="display"
                 )
             )
+        if burst:
+            self.network.send_burst(burst)
         self.sim.schedule(1.0 / UPDATE_HZ, self._emit)
 
     # -- the tier control loop ----------------------------------------------

@@ -122,16 +122,19 @@ class NetworkLoadGenerator:
     def _burst_sender(self, burst_bytes: int):
         def send() -> None:
             remaining = burst_bytes
+            burst = []
             while remaining > 0:
                 size = min(FULL_DATAGRAM_NBYTES, remaining)
                 # Runt datagrams still pay their headers.
                 size = max(size, 64)
-                packet = Packet(
-                    src=self.src, dst=self.dst, nbytes=size, flow=self.flow
+                burst.append(
+                    Packet.acquire(self.src, self.dst, size, flow=self.flow)
                 )
-                self.network.send(packet)
                 self.bytes_emitted += size
                 self.packets_emitted += 1
                 remaining -= size
+            # One fabric call per burst: vectorized loss draws and a
+            # single arrival cohort on the uplink.
+            self.network.send_burst(burst)
 
         return send

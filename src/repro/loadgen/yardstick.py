@@ -109,10 +109,10 @@ class NetworkYardstick:
         """Install as (or call from) the server endpoint's receive hook."""
         if packet.flow != "yardstick-request":
             return
-        response = Packet(
-            src=self.server_addr,
-            dst=self.console_addr,
-            nbytes=NET_YARDSTICK_RESPONSE_NBYTES,
+        response = Packet.acquire(
+            self.server_addr,
+            self.console_addr,
+            NET_YARDSTICK_RESPONSE_NBYTES,
             flow="yardstick-response",
             payload=packet.payload,
         )
@@ -148,10 +148,10 @@ class NetworkYardstick:
             self._probe_id = self._tracer.begin_probe(
                 "net.yardstick.round", self.sim.now
             )
-        request = Packet(
-            src=self.console_addr,
-            dst=self.server_addr,
-            nbytes=NET_YARDSTICK_REQUEST_NBYTES,
+        request = Packet.acquire(
+            self.console_addr,
+            self.server_addr,
+            NET_YARDSTICK_REQUEST_NBYTES,
             flow="yardstick-request",
             payload=seq,
         )

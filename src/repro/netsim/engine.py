@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -37,6 +37,44 @@ def set_default_monitor(
     return previous
 
 
+class _Cohort:
+    """A batch of callbacks sharing one heap entry (one timestamp).
+
+    Members fire back to back in list order — exactly the order N scalar
+    ``schedule`` calls at the same instant would have produced — and each
+    counts as one processed event.  ``stop()`` between members matches
+    the scalar semantics too: the rest are re-queued at the same
+    timestamp and fire on the next run.
+    """
+
+    __slots__ = ("sim", "callbacks")
+
+    def __init__(self, sim: "Simulator", callbacks: List[Callable[[], None]]):
+        self.sim = sim
+        self.callbacks = callbacks
+
+    def __call__(self) -> None:
+        sim = self.sim
+        callbacks = self.callbacks
+        n = len(callbacks)
+        # The engine loop counts this entry as one event; the remaining
+        # members are accounted for here, so cohorts bump the counter by
+        # their full size.
+        sim.events_processed += n - 1
+        sim._batched_pending -= n - 1
+        for i, callback in enumerate(callbacks):
+            callback()
+            if sim._stopped and i + 1 < n:
+                rest = callbacks[i + 1 :]
+                sim.events_processed -= len(rest)
+                sim._batched_pending += len(rest) - 1
+                heapq.heappush(
+                    sim._queue,
+                    (sim.now, next(sim._counter), _Cohort(sim, rest)),
+                )
+                return
+
+
 class Simulator:
     """An event queue with a clock.
 
@@ -54,8 +92,16 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Callbacks queued inside batch entries beyond the one the heap
+        #: entry itself accounts for (keeps ``pending`` honest).
+        self._batched_pending = 0
         self._monitor: Optional[Callable[["Simulator"], None]] = None
         self._monitor_every = DEFAULT_MONITOR_EVERY
+        #: Event count at which the monitor next fires.  A due-counter
+        #: rather than a modulo test: cohort draining bumps
+        #: ``events_processed`` by more than one, which would skate past
+        #: an exact-multiple check.
+        self._monitor_due = 0
         if _default_monitor_factory is not None:
             self.set_monitor(_default_monitor_factory(self))
 
@@ -70,6 +116,9 @@ class Simulator:
         self._monitor = monitor
         every = getattr(monitor, "every", DEFAULT_MONITOR_EVERY)
         self._monitor_every = max(1, int(every))
+        self._monitor_due = (
+            self.events_processed // self._monitor_every + 1
+        ) * self._monitor_every
 
     #: Negative delays larger than this magnitude are scheduling bugs;
     #: smaller ones are float round-off (e.g. ``deadline - self.now``
@@ -103,20 +152,54 @@ class Simulator:
             )
         heapq.heappush(self._queue, (when, next(self._counter), callback))
 
+    def schedule_batch(
+        self, delay: float, callbacks: Iterable[Callable[[], None]]
+    ) -> None:
+        """Run several callbacks ``delay`` seconds from now, in order.
+
+        Observationally identical to N consecutive :meth:`schedule`
+        calls at the same instant — FIFO tie-break order is preserved,
+        each member counts as one processed event — but the whole batch
+        pays a single heap operation.  Producers that emit event trains
+        at one timestamp (fragmentation bursts, per-tick workload
+        generators) use this to amortize the per-event heap cost.
+        """
+        if delay < 0:
+            if delay < -self.NEGATIVE_DELAY_EPSILON:
+                raise SimulationError(f"cannot schedule {delay}s in the past")
+            delay = 0.0
+        callbacks = list(callbacks)
+        if not callbacks:
+            return
+        if len(callbacks) == 1:
+            heapq.heappush(
+                self._queue, (self.now + delay, next(self._counter), callbacks[0])
+            )
+            return
+        self._batched_pending += len(callbacks) - 1
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, next(self._counter), _Cohort(self, callbacks)),
+        )
+
     # -- execution ----------------------------------------------------------------
     def step(self) -> bool:
-        """Process one event; returns False when the queue is empty."""
+        """Process one event; returns False when the queue is empty.
+
+        A batch entry (:meth:`schedule_batch`) fires whole: one ``step``
+        runs all of its members and counts each of them.
+        """
         if not self._queue:
             return False
         when, _, callback = heapq.heappop(self._queue)
         self.now = when
         self.events_processed += 1
         callback()
-        if (
-            self._monitor is not None
-            and self.events_processed % self._monitor_every == 0
-        ):
+        if self._monitor is not None and self.events_processed >= self._monitor_due:
             self._monitor(self)
+            self._monitor_due = (
+                self.events_processed // self._monitor_every + 1
+            ) * self._monitor_every
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
@@ -125,16 +208,26 @@ class Simulator:
         ``events_processed`` is the single authoritative event counter:
         the limit is enforced against it directly (it keeps counting
         across successive ``run``/``run_until``/``step`` calls).
+
+        In the monitored/limited loops, same-timestamp events drain as
+        one *cohort*: the clock is written once, the limit/monitor
+        bookkeeping runs once, and the counter is bumped by the cohort
+        size — the per-cohort tie-peek replaces the per-event checks it
+        amortizes.  The dedicated no-limit/no-monitor loop has no such
+        bookkeeping to amortize, so it keeps the zero-overhead scalar
+        structure (a tie-peek there is a pure per-event tax on tie-free
+        workloads); batch entries from :meth:`schedule_batch` amortize
+        their heap traffic in every loop regardless.  The ``max_events``
+        limit is checked between cohorts, so a run can overshoot it by
+        at most the size of the cohort in progress.
         """
         self._guard_reentry()
         try:
             # Inlined event loop: cached heappop/queue locals and no
-            # per-event step() frame.  The counter and clock stay on
-            # ``self`` (in-place updates are cheaper than shadow locals
-            # under the adaptive interpreter, and reentrant step() calls
-            # stay consistent for free).  The common case — no event
-            # limit, no monitor — gets a dedicated loop with zero
-            # per-event bookkeeping checks.
+            # per-event step() frame.  The clock stays on ``self``
+            # (reentrant step() calls stay consistent for free).  The
+            # common case — no event limit, no monitor — gets a
+            # dedicated loop with zero per-event bookkeeping checks.
             queue = self._queue
             pop = heapq.heappop
             if max_events is None and self._monitor is None:
@@ -147,18 +240,24 @@ class Simulator:
             limit = (
                 None if max_events is None else self.events_processed + max_events
             )
+            monitor = self._monitor
             while queue and not self._stopped:
                 if limit is not None and self.events_processed >= limit:
                     break
                 when, _, callback = pop(queue)
                 self.now = when
-                self.events_processed += 1
+                n = 1
                 callback()
-                if (
-                    self._monitor is not None
-                    and self.events_processed % self._monitor_every == 0
-                ):
-                    self._monitor(self)
+                while queue and queue[0][0] == when and not self._stopped:
+                    _, _, callback = pop(queue)
+                    n += 1
+                    callback()
+                self.events_processed += n
+                if monitor is not None and self.events_processed >= self._monitor_due:
+                    monitor(self)
+                    self._monitor_due = (
+                        self.events_processed // self._monitor_every + 1
+                    ) * self._monitor_every
         finally:
             self._running = False
             self._stopped = False
@@ -167,7 +266,8 @@ class Simulator:
         """Run events with timestamps <= ``deadline``; clock ends there.
 
         Events scheduled beyond the deadline stay queued, so a simulation
-        can be advanced in slices.
+        can be advanced in slices.  The monitored loop drains cohorts as
+        in :meth:`run`.
         """
         self._guard_reentry()
         try:
@@ -180,16 +280,25 @@ class Simulator:
                     self.events_processed += 1
                     callback()
             else:
+                # The monitor is re-read per cohort only through the
+                # due-counter; the branch above established it is
+                # installed, so no per-event None re-test here.
+                monitor = self._monitor
                 while queue and not self._stopped and queue[0][0] <= deadline:
                     when, _, callback = pop(queue)
                     self.now = when
-                    self.events_processed += 1
+                    n = 1
                     callback()
-                    if (
-                        self._monitor is not None
-                        and self.events_processed % self._monitor_every == 0
-                    ):
-                        self._monitor(self)
+                    while queue and queue[0][0] == when and not self._stopped:
+                        _, _, callback = pop(queue)
+                        n += 1
+                        callback()
+                    self.events_processed += n
+                    if self.events_processed >= self._monitor_due:
+                        monitor(self)
+                        self._monitor_due = (
+                            self.events_processed // self._monitor_every + 1
+                        ) * self._monitor_every
             # Only fast-forward the clock when the slice drained naturally:
             # after stop() there may be events before the deadline still
             # queued, and teleporting past them would let a later run
@@ -216,8 +325,12 @@ class Simulator:
     # -- introspection --------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of scheduled events not yet fired."""
-        return len(self._queue)
+        """Number of scheduled events not yet fired.
+
+        Batch members count individually, even though a batch occupies
+        a single heap entry.
+        """
+        return len(self._queue) + self._batched_pending
 
     def peek_next_time(self) -> Optional[float]:
         """Timestamp of the next event, or None when idle."""

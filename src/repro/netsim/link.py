@@ -37,6 +37,28 @@ from repro.units import transmission_delay
 #: Queue-depth histogram buckets (packets waiting behind the wire).
 QUEUE_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
+#: Process-wide switch for the fast transit path (see :class:`Link`).
+#: Checked at Link construction; the equivalence tests force the scalar
+#: path to diff the two implementations on identical seeds.  The
+#: ``SLIM_SCALAR_FABRIC`` environment variable disables it for a whole
+#: run (handy when bisecting a suspected fast-path bug).
+import os as _os
+
+_fast_transit = _os.environ.get("SLIM_SCALAR_FABRIC", "") in ("", "0")
+
+
+def set_fast_transit(enabled: bool) -> bool:
+    """Enable/disable the fast transit path for *new* links; returns the
+    previous setting so tests can restore it."""
+    global _fast_transit
+    previous = _fast_transit
+    _fast_transit = bool(enabled)
+    return previous
+
+
+def fast_transit_enabled() -> bool:
+    return _fast_transit
+
 
 class GilbertElliottLoss:
     """Two-state Markov (Gilbert–Elliott) burst-loss model.
@@ -207,7 +229,7 @@ class Link:
         self.burst_loss = burst_loss
         self.rng = rng
         self.name = name
-        self.stats = LinkStats()
+        self._stats = LinkStats()
         self._queue: Deque[tuple] = deque()  # (packet, enqueue_time)
         self._queued_bytes = 0
         self._busy = False
@@ -217,8 +239,10 @@ class Link:
         obs = obs if obs is not None else get_obs()
         self._trace = obs.tracer if obs is not None else None
         #: Wire-capture tap; assign a SlimcapWriter to record this
-        #: link's frames (drops and losses included).
-        self.capture = None
+        #: link's frames (drops and losses included).  Assigning one
+        #: drops the link back to the scalar transit path (the fast
+        #: path has no tx_start/tx_end instants to report against).
+        self._capture = None
         self._metrics = registry if registry is not None else get_registry()
         # Pre-resolved telemetry handles: hot paths pay one None test
         # when telemetry is disabled (enablement is fixed at construction).
@@ -236,15 +260,265 @@ class Link:
             self._m_residency = m.histogram(
                 "net.link.queue_residency_seconds", link=name
             )
+        # -- fast transit path -----------------------------------------------
+        # A FIFO wire is fully determined at enqueue time: serialization
+        # start/finish fall out of a busy-watermark, and because finish
+        # order equals enqueue order, every RNG decision (loss, GE chain
+        # step, jitter) can be drawn at enqueue while consuming the
+        # stream in exactly the scalar per-packet order.  Each packet
+        # then costs ONE event (the delivery) instead of three, and lost
+        # packets cost none.  Stats are kept exact at arbitrary sample
+        # times by pending-credit records folded lazily against the
+        # clock (`_fold`).  The path switches off whenever an observer
+        # needs the intermediate instants (tracer, capture, telemetry).
+        self._fast = (
+            _fast_transit and self._trace is None and self._m_packets is None
+        )
+        self._busy_until = 0.0
+        #: [start, nbytes, queue_delay] — folded once serialization has
+        #: started (queue occupancy + queue-delay credit).
+        self._pending_start: Deque[list] = deque()
+        #: [finish, start, nbytes, lost] — folded once serialization has
+        #: finished (throughput + busy-time + loss credit).
+        self._pending_fin: Deque[list] = deque()
+        #: Packets in flight on the no-jitter path, delivered FIFO by
+        #: the single preallocated callback below.
+        self._transit: Deque[Packet] = deque()
+        self._deliver_cb = self._deliver_next
+        # Freelists for the two pending-record shapes: the steady state
+        # recycles them instead of churning the allocator.
+        self._rec3_pool: list = []
+        self._rec4_pool: list = []
+
+    @property
+    def capture(self):
+        return self._capture
+
+    @capture.setter
+    def capture(self, value) -> None:
+        self._capture = value
+        if value is not None:
+            self._fast = False
+
+    # -- the fast transit path ---------------------------------------------------
+    def _fold(self, ref: float) -> None:
+        """Settle pending credits for everything that happened by ``ref``."""
+        self._fold_fin(ref)
+        self._fold_starts(ref)
+
+    def _fold_fin(self, ref: float) -> None:
+        pend = self._pending_fin
+        if pend and pend[0][0] <= ref:
+            stats = self._stats
+            pool = self._rec4_pool
+            while pend and pend[0][0] <= ref:
+                rec = pend.popleft()
+                stats.packets_sent += 1
+                stats.bytes_sent += rec[2]
+                stats.busy_time += rec[0] - rec[1]
+                if rec[3]:
+                    stats.packets_lost += 1
+                pool.append(rec)
+
+    def _fold_starts(self, ref: float) -> None:
+        starts = self._pending_start
+        if starts and starts[0][0] <= ref:
+            stats = self._stats
+            pool = self._rec3_pool
+            while starts and starts[0][0] <= ref:
+                rec = starts.popleft()
+                self._queued_bytes -= rec[1]
+                stats.queue_delay_total += rec[2]
+                pool.append(rec)
+
+    def _send_fast(self, packet: Packet, ready: float) -> bool:
+        """Admit one packet onto the wire as of time ``ready``."""
+        nbytes = packet.nbytes
+        busy = self._busy_until
+        if busy > ready:
+            # The wire is mid-serialization at the arrival instant, so
+            # the packet queues — exactly when the scalar path consults
+            # the tail-drop limit and starts the queue-delay clock.
+            limit = self.queue_limit_bytes
+            if limit is not None:
+                # Settle bytes that left the queue by ``ready`` so the
+                # drop decision sees the scalar path's exact occupancy.
+                if self._pending_start and self._pending_start[0][0] <= ready:
+                    self._fold_starts(ready)
+                if self._queued_bytes + nbytes > limit:
+                    self._stats.packets_dropped += 1
+                    if packet.pooled:
+                        packet.release()
+                    return False
+            start = busy
+            pool = self._rec3_pool
+            if pool:
+                rec = pool.pop()
+                rec[0] = start
+                rec[1] = nbytes
+                rec[2] = start - ready
+            else:
+                rec = [start, nbytes, start - ready]
+            self._pending_start.append(rec)
+            self._queued_bytes += nbytes
+        else:
+            # Idle wire: serialization starts immediately — the packet
+            # never queues, so there is no queue record at all (the
+            # scalar path likewise bypasses queue accounting here).
+            start = ready
+        finish = start + nbytes * 8.0 / self.rate_bps
+        self._busy_until = finish
+        rng = self.rng
+        if self.burst_loss is not None:
+            lost = self.burst_loss.sample(rng)
+        else:
+            lost = (
+                self.loss_rate > 0
+                and rng is not None
+                and float(rng.random()) < self.loss_rate
+            )
+        pool = self._rec4_pool
+        if pool:
+            rec = pool.pop()
+            rec[0] = finish
+            rec[1] = start
+            rec[2] = nbytes
+            rec[3] = lost
+        else:
+            rec = [finish, start, nbytes, lost]
+        self._pending_fin.append(rec)
+        if lost:
+            # Drawn dead at enqueue: the loss costs no event at all.
+            if packet.pooled:
+                packet.release()
+            return True
+        delay = self.propagation_delay
+        if self.jitter > 0:
+            delay += float(rng.random()) * self.jitter
+            # Jittered arrivals can reorder, so each needs its own
+            # carrier; the clean path below shares one callback.
+            self.sim.schedule_at(finish + delay, lambda: self.deliver(packet))
+        else:
+            self._transit.append(packet)
+            self.sim.schedule_at(finish + delay, self._deliver_cb)
+        return True
+
+    def _deliver_next(self) -> None:
+        # Delivery instants are natural fold points: this packet's own
+        # finish record is due by now, so the fold always settles work,
+        # and doing it here keeps the pending deques bounded by the
+        # in-flight backlog with no per-send bookkeeping.
+        packet = self._transit.popleft()
+        now = self.sim.now
+        self._fold_fin(now)
+        starts = self._pending_start
+        if starts and starts[0][0] <= now:
+            self._fold_starts(now)
+        self.deliver(packet)
+
+    def send_deferred(self, packet: Packet, extra_delay: float) -> bool:
+        """Admit ``packet`` as if sent ``extra_delay`` seconds from now.
+
+        The fast-path replacement for scheduling a closure that calls
+        :meth:`send` later (the switch's forwarding delay): admission,
+        serialization, and loss are all evaluated at the deferred ready
+        time, with no intermediate event.  Callers must keep ready times
+        per link monotone (a constant ``extra_delay`` per caller, as the
+        switch's forwarding delay is, guarantees this).  Scalar-path
+        links fall back to a scheduled send.
+        """
+        if self._fast:
+            return self._send_fast(packet, self.sim.now + extra_delay)
+        self.sim.schedule(extra_delay, lambda: self.send(packet))
+        return True
+
+    def send_burst(self, packets) -> list:
+        """Send a train handed over at one instant; one admission sweep.
+
+        Loss decisions consume the RNG stream in per-packet order —
+        vectorized into a single ``rng.random(n)`` call when the
+        per-packet draw count is fixed (Bernoulli loss, no jitter, no
+        queue limit), drawn per packet otherwise — so seeded traces are
+        identical to one :meth:`send` call per packet.
+        """
+        if not self._fast:
+            return [self.send(p) for p in packets]
+        now = self.sim.now
+        if (
+            len(packets) > 1
+            and self.loss_rate > 0
+            and self.jitter == 0
+            and self.burst_loss is None
+            and self.queue_limit_bytes is None
+            and self.rng is not None
+        ):
+            return self._send_burst_bernoulli(packets, now)
+        return [self._send_fast(p, now) for p in packets]
+
+    def _send_burst_bernoulli(self, packets, now: float) -> list:
+        if self._pending_start and self._pending_start[0][0] <= now:
+            self._fold_starts(now)
+            self._fold_fin(now)
+        draws = self.rng.random(len(packets))
+        rate = self.loss_rate
+        rate_bps = self.rate_bps
+        prop = self.propagation_delay
+        busy = self._busy_until
+        starts = self._pending_start
+        fins = self._pending_fin
+        pool3 = self._rec3_pool
+        pool4 = self._rec4_pool
+        transit = self._transit
+        schedule_at = self.sim.schedule_at
+        deliver_cb = self._deliver_cb
+        queued = 0
+        for i, packet in enumerate(packets):
+            nbytes = packet.nbytes
+            if busy > now:
+                start = busy
+                if pool3:
+                    rec = pool3.pop()
+                    rec[0] = start
+                    rec[1] = nbytes
+                    rec[2] = start - now
+                else:
+                    rec = [start, nbytes, start - now]
+                starts.append(rec)
+                queued += nbytes
+            else:
+                start = now
+            finish = start + nbytes * 8.0 / rate_bps
+            busy = finish
+            lost = bool(draws[i] < rate)
+            if pool4:
+                rec = pool4.pop()
+                rec[0] = finish
+                rec[1] = start
+                rec[2] = nbytes
+                rec[3] = lost
+            else:
+                rec = [finish, start, nbytes, lost]
+            fins.append(rec)
+            if lost:
+                if packet.pooled:
+                    packet.release()
+            else:
+                transit.append(packet)
+                schedule_at(finish + prop, deliver_cb)
+        self._busy_until = busy
+        self._queued_bytes += queued
+        return [True] * len(packets)
 
     # -- sending -----------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet; returns False if the buffer dropped it."""
+        if self._fast:
+            return self._send_fast(packet, self.sim.now)
         if (
             self.queue_limit_bytes is not None
             and self._queued_bytes + packet.nbytes > self.queue_limit_bytes
         ):
-            self.stats.packets_dropped += 1
+            self._stats.packets_dropped += 1
             if self._m_drops is not None:
                 self._m_drops.inc()
             if self.capture is not None and isinstance(packet.payload, Datagram):
@@ -273,7 +547,7 @@ class Link:
         self._busy = True
         packet, enqueued_at = self._queue.popleft()
         self._queued_bytes -= packet.nbytes
-        self.stats.queue_delay_total += self.sim.now - enqueued_at
+        self._stats.queue_delay_total += self.sim.now - enqueued_at
         if self._m_residency is not None:
             self._m_residency.observe(self.sim.now - enqueued_at)
         if self._trace is not None and packet.trace_id is not None:
@@ -290,10 +564,10 @@ class Link:
         # utilization() sample taken mid-serialization must only see the
         # bits that have actually left the interface.
         if self._tx_started_at is not None:
-            self.stats.busy_time += self.sim.now - self._tx_started_at
+            self._stats.busy_time += self.sim.now - self._tx_started_at
             self._tx_started_at = None
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.nbytes
+        self._stats.packets_sent += 1
+        self._stats.bytes_sent += packet.nbytes
         if self._m_packets is not None:
             self._m_packets.inc()
             self._m_bytes.inc(packet.nbytes)
@@ -316,9 +590,11 @@ class Link:
                 kind=KIND_LOSS if lost else KIND_FRAME,
             )
         if lost:
-            self.stats.packets_lost += 1
+            self._stats.packets_lost += 1
             if self._m_losses is not None:
                 self._m_losses.inc()
+            if packet.pooled:
+                packet.release()
         else:
             delay = self.propagation_delay
             if self.jitter > 0:
@@ -345,12 +621,39 @@ class Link:
 
     # -- introspection -----------------------------------------------------------
     @property
+    def stats(self) -> LinkStats:
+        """Counters, exact as of the current simulated time.
+
+        On the fast transit path, credits for packets whose start/finish
+        instants have passed are folded in on access, so a reader sees
+        exactly what the scalar path's per-event accounting would show.
+        """
+        if self._pending_fin or self._pending_start:
+            self._fold(self._fold_ref())
+        return self._stats
+
+    def _fold_ref(self) -> float:
+        """Settlement horizon for reads: ``now`` while events remain.
+
+        Once the engine quiesces, everything admitted is folded: a run
+        whose trailing packets were all lost ends *earlier* than the
+        scalar run (losses generate no events), but by then every
+        start/finish instant is a settled fact the scalar path would
+        have counted by its own, later, final clock.
+        """
+        return self.sim.now if self.sim.pending else float("inf")
+
+    @property
     def queue_depth(self) -> int:
         """Packets currently waiting (not counting the one in flight)."""
-        return len(self._queue)
+        if self._pending_start:
+            self._fold_starts(self._fold_ref())
+        return len(self._queue) + len(self._pending_start)
 
     @property
     def queued_bytes(self) -> int:
+        if self._pending_start:
+            self._fold_starts(self._fold_ref())
         return self._queued_bytes
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
@@ -359,10 +662,17 @@ class Link:
         Safe to sample mid-serialization: the in-flight packet counts
         only for the time it has actually occupied the wire so far.
         """
-        window = elapsed if elapsed is not None else self.sim.now
+        now = self.sim.now
+        window = elapsed if elapsed is not None else now
         if window <= 0:
             return 0.0
-        busy = self.stats.busy_time
+        if self._pending_fin or self._pending_start:
+            self._fold(now)
+        busy = self._stats.busy_time
         if self._tx_started_at is not None:
-            busy += self.sim.now - self._tx_started_at
+            busy += now - self._tx_started_at
+        elif self._pending_fin:
+            head = self._pending_fin[0]
+            if head[1] <= now:  # started but not finished: prorate
+                busy += now - head[1]
         return min(1.0, busy / window)

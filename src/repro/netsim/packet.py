@@ -9,6 +9,11 @@ from repro.errors import SimulationError
 
 _packet_ids = itertools.count()
 
+#: Freelist of released packets (:meth:`Packet.acquire`); bounded so a
+#: burst of traffic cannot pin an arbitrary amount of memory forever.
+_pool: list = []
+_POOL_MAX = 4096
+
 
 class Packet:
     """One datagram on the wire.
@@ -41,6 +46,7 @@ class Packet:
         "created_at",
         "trace_id",
         "packet_id",
+        "pooled",
     )
 
     def __init__(
@@ -64,6 +70,57 @@ class Packet:
         self.created_at = created_at
         self.trace_id = trace_id
         self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.pooled = False
+
+    @classmethod
+    def acquire(
+        cls,
+        src: str,
+        dst: str,
+        nbytes: int,
+        payload: Any = None,
+        flow: Optional[str] = None,
+        trace_id: Optional[int] = None,
+    ) -> "Packet":
+        """A packet from the freelist (or a fresh one), marked pooled.
+
+        Pooled packets are *owned by the fabric once sent*: it recycles
+        them after the receiving endpoint's ``on_receive`` returns, and
+        on drops/losses.  Senders must not retain, re-read, or resend a
+        pooled packet after handing it to the network, and receive hooks
+        must not keep it past their return (keeping the *payload* is
+        fine — the pool nulls the reference, not the object).
+        """
+        if _pool:
+            packet = _pool.pop()
+            if nbytes <= 0:
+                raise SimulationError(
+                    f"packet size must be positive, got {nbytes}"
+                )
+            packet.src = src
+            packet.dst = dst
+            packet.nbytes = nbytes
+            packet.payload = payload
+            packet.flow = flow
+            packet.created_at = 0.0
+            packet.trace_id = trace_id
+            packet.packet_id = next(_packet_ids)
+            packet.pooled = True
+            return packet
+        packet = cls(src, dst, nbytes, payload, flow, trace_id=trace_id)
+        packet.pooled = True
+        return packet
+
+    def release(self) -> None:
+        """Return this packet to the freelist (pooled packets only).
+
+        Safe to call twice — the flag is cleared on the way in — but the
+        caller must have dropped every other reference first.
+        """
+        if self.pooled and len(_pool) < _POOL_MAX:
+            self.pooled = False
+            self.payload = None  # never pin payloads from inside the pool
+            _pool.append(self)
 
     def __repr__(self) -> str:
         return (

@@ -46,7 +46,7 @@ import itertools
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.netsim.engine import Simulator, set_default_monitor
@@ -598,6 +598,11 @@ class ShardedBackend:
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         self._control.schedule_at(when, callback)
+
+    def schedule_batch(
+        self, delay: float, callbacks: Iterable[Callable[[], None]]
+    ) -> None:
+        self._control.schedule_batch(delay, callbacks)
 
     def set_monitor(self, monitor) -> None:
         self._control.set_monitor(monitor)

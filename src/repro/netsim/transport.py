@@ -123,7 +123,12 @@ class Endpoint:
         self.gaps_detected = 0
 
     def deliver(self, packet: Packet) -> None:
-        """Called by the fabric when a packet arrives."""
+        """Called by the fabric when a packet arrives.
+
+        Pooled packets (:meth:`Packet.acquire`) are recycled once the
+        receive hook returns — hooks may keep the payload, never the
+        packet itself.
+        """
         self.packets_received += 1
         self.bytes_received += packet.nbytes
         seq = getattr(packet.payload, "seq", None)
@@ -131,6 +136,8 @@ class Endpoint:
             self._track_seq(int(seq))
         if self.on_receive is not None:
             self.on_receive(packet)
+        if packet.pooled:
+            packet.release()
 
     def _track_seq(self, seq: int) -> None:
         # A late (or duplicate) arrival fills its hole: no report needed.
@@ -294,6 +301,34 @@ class Network:
             raise SimulationError(f"unknown destination endpoint {packet.dst!r}")
         packet.created_at = self.sim.now
         return uplink.send(packet)
+
+    def send_burst(self, packets: List[Packet]) -> List[bool]:
+        """Inject a same-source packet train in one fabric operation.
+
+        Equivalent to calling :meth:`send` on each packet in order, but
+        rides the uplink's burst path (vectorized loss draws, batched
+        arrival cohorts) — the natural entry point for fragment trains
+        and per-tick workload bursts.
+        """
+        if not packets:
+            return []
+        src = packets[0].src
+        uplink = self._uplinks.get(src)
+        if uplink is None:
+            raise SimulationError(f"unknown source endpoint {src!r}")
+        now = self.sim.now
+        for packet in packets:
+            if packet.src != src:
+                raise SimulationError(
+                    "send_burst requires a single source endpoint, got "
+                    f"{src!r} and {packet.src!r}"
+                )
+            if packet.dst not in self._endpoints:
+                raise SimulationError(
+                    f"unknown destination endpoint {packet.dst!r}"
+                )
+            packet.created_at = now
+        return uplink.send_burst(packets)
 
     def endpoint(self, address: str) -> Endpoint:
         try:

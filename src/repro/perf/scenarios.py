@@ -1,26 +1,32 @@
 """The pinned benchmark scenarios (import to register).
 
-Nine scenarios spanning the reproduction's hot paths, ordered roughly
+Scenarios spanning the reproduction's hot paths, ordered roughly
 inner-loop to full-system:
 
-==================  =====================================================
-``wire_roundtrip``  encode -> fragment -> reassemble -> decode of a mixed
-                    command stream (the per-message protocol cost)
-``netsim_events``   bare discrete-event engine: timer chains only
-``switch_forward``  packets crossing the switched star (links + switch)
-``encode_damage``   paint + SLIM-encode display-model updates (the
-                    server's per-update path)
-``console_decode``  console-side decode + paint of a materialized
-                    command stream (pixels onto the framebuffer)
-``channel_lossy``   the reliable display channel under 15% loss: damage
-                    chasing, NACKs, re-encodes, status exchange
-``yardstick_load``  the Figure 11 fabric-contention rig: yardstick probe
-                    plus background load generators on a shared link
-``e2e_session``     a complete session: driver -> wire -> fabric ->
-                    console, verified pixel-exact
-``fleet_scale``     the sharded fleet backend: a small campus across two
-                    worker processes, conservative-lookahead barriers
-==================  =====================================================
+=======================  ================================================
+``wire_roundtrip``       encode -> fragment -> reassemble -> decode of a
+                         mixed command stream (per-message protocol cost)
+``netsim_events``        bare discrete-event engine: timer chains only
+``netsim_events_batch``  engine cohort trains: producers emit
+                         same-timestamp batches via ``schedule_batch``
+``switch_forward``       packets crossing the switched star (links +
+                         switch), one ``network.send`` per packet
+``switch_burst``         the same star driven with packet trains through
+                         ``network.send_burst`` / ``ingress_burst``
+``encode_damage``        paint + SLIM-encode display-model updates (the
+                         server's per-update path)
+``console_decode``       console-side decode + paint of a materialized
+                         command stream (pixels onto the framebuffer)
+``channel_lossy``        the reliable display channel under 15% loss:
+                         damage chasing, NACKs, re-encodes, status
+                         exchange
+``yardstick_load``       the Figure 11 fabric-contention rig: yardstick
+                         probe plus background load on a shared link
+``e2e_session``          a complete session: driver -> wire -> fabric ->
+                         console, verified pixel-exact
+``fleet_scale``          the sharded fleet backend: a small campus across
+                         two worker processes, lookahead barriers
+=======================  ================================================
 
 Every scenario is seeded and returns deterministic counts; end-to-end
 scenarios additionally *assert* correctness (pixel equality), so a
@@ -152,6 +158,43 @@ def netsim_events_rec(ctx: ScenarioContext) -> Dict[str, float]:
             return _netsim_events_body(ctx)
 
 
+@scenario(
+    "netsim_events_batch",
+    title="Discrete-event engine: schedule_batch cohort trains",
+)
+def netsim_events_batch(ctx: ScenarioContext) -> Dict[str, float]:
+    # The amortization counterpart of ``netsim_events``: the same event
+    # volume, but producers hand the engine same-timestamp cohorts, so
+    # the heap sees one entry (and the monitored loops one clock write)
+    # per train instead of per event.
+    total_events = ctx.scale(full=240_000, quick=50_000)
+    burst = 32
+    chains = 16
+    sim = LocalBackend()
+    budget = {"left": total_events}
+
+    def member() -> None:
+        pass
+
+    def make_chain(period: float):
+        def tick() -> None:
+            left = budget["left"]
+            if left <= 0:
+                return
+            n = burst if left >= burst else left
+            budget["left"] = left - n
+            sim.schedule_batch(period * 0.5, [member] * n)
+            sim.schedule(period, tick)
+
+        return tick
+
+    for index in range(chains):
+        sim.schedule(0.0, make_chain(0.0005 + 0.000013 * index))
+    sim.run()
+    assert budget["left"] == 0, "batch chains under-delivered events"
+    return {"sim_events": sim.events_processed, "sim_seconds": sim.now}
+
+
 @scenario("switch_forward", title="Switched star fabric: packet forwarding")
 def switch_forward(ctx: ScenarioContext) -> Dict[str, float]:
     per_sender = ctx.scale(full=2500, quick=500)
@@ -185,6 +228,59 @@ def switch_forward(ctx: ScenarioContext) -> Dict[str, float]:
         network.endpoint(address).packets_received for address in addresses
     )
     assert packets == nodes * per_sender, "fabric dropped lossless traffic"
+    return {
+        "sim_events": sim.events_processed,
+        "sim_seconds": sim.now,
+        "packets": packets,
+    }
+
+
+@scenario(
+    "switch_burst", title="Switched star fabric: packet-train burst transit"
+)
+def switch_burst(ctx: ScenarioContext) -> Dict[str, float]:
+    # The burst-path counterpart of ``switch_forward``: the same star,
+    # but each sender emits 8-packet trains through ``send_burst`` (and
+    # the switch forwards them via ``ingress_burst`` semantics), with
+    # packets drawn from the freelist.
+    bursts_per_sender = ctx.scale(full=320, quick=64)
+    burst = 8
+    nodes = 8
+    sim = LocalBackend()
+    network = Network(sim, default_rate_bps=ETHERNET_100)
+    addresses = [f"node{i}" for i in range(nodes)]
+    for address in addresses:
+        network.attach(Endpoint(address))
+
+    def make_sender(src: str, dst: str, offset: float):
+        remaining = {"left": bursts_per_sender}
+        flow = f"{src}->{dst}"
+
+        def send() -> None:
+            if remaining["left"] <= 0:
+                return
+            remaining["left"] -= 1
+            network.send_burst(
+                [
+                    Packet.acquire(src, dst, 1000, flow=flow)
+                    for _ in range(burst)
+                ]
+            )
+            sim.schedule(0.0004, send)
+
+        sim.schedule(offset, send)
+
+    for index, address in enumerate(addresses):
+        make_sender(
+            address, addresses[(index + 1) % nodes], offset=index * 0.00005
+        )
+    sim.run()
+    packets = sum(
+        network.endpoint(address).packets_received for address in addresses
+    )
+    assert packets == nodes * bursts_per_sender * burst, (
+        "fabric dropped lossless burst traffic"
+    )
     return {
         "sim_events": sim.events_processed,
         "sim_seconds": sim.now,

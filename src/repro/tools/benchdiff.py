@@ -68,7 +68,18 @@ class Thresholds:
     )
     scale: float = 1.0
 
-    def for_metric(self, name: str) -> float:
+    def for_metric(self, name: str, scenario: Optional[str] = None) -> float:
+        """Threshold for one metric, tightest match first.
+
+        A ``scenario.metric`` key (e.g. ``switch_forward.packets_per_sec``)
+        beats a bare ``metric`` key, which beats the default — so a gate
+        can hold one scenario's rate to a tighter noise budget than the
+        fleet-wide default.
+        """
+        if scenario is not None:
+            qualified = self.per_metric.get(f"{scenario}.{name}")
+            if qualified is not None:
+                return qualified * self.scale
         return self.per_metric.get(name, self.default) * self.scale
 
 
@@ -185,7 +196,7 @@ def diff_documents(
                 continue
             old_value = float(old_metric["value"])
             new_value = float(new_metric["value"])
-            threshold = thresholds.for_metric(metric_name)
+            threshold = thresholds.for_metric(metric_name, scenario=name)
             if not (old_metric.get("compare") and new_metric.get("compare")):
                 _status, worse = classify(
                     old_value,
@@ -368,7 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         default=[],
         metavar="METRIC=FRACTION",
-        help="per-metric threshold override (repeatable)",
+        help="per-metric threshold override, repeatable; METRIC may be "
+        "scenario-qualified (switch_forward.packets_per_sec=0.15)",
     )
     parser.add_argument(
         "--scale-thresholds",

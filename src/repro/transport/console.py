@@ -323,16 +323,18 @@ class ConsoleChannel:
                 (self.address, self.server_address, seq), command, self.sim.now
             )
         nbytes = 0
+        burst = []
         for datagram in self.tx.fragment(command, seq=seq):
             nbytes += datagram.wire_nbytes
-            self.network.send(
-                Packet(
-                    src=self.address,
-                    dst=self.server_address,
-                    nbytes=datagram.wire_nbytes,
+            burst.append(
+                Packet.acquire(
+                    self.address,
+                    self.server_address,
+                    datagram.wire_nbytes,
                     payload=datagram,
                     flow=CONTROL_FLOW,
                     trace_id=trace_id,
                 )
             )
+        self.network.send_burst(burst)
         return nbytes

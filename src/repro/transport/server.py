@@ -201,19 +201,24 @@ class ServerChannel:
                 recovery=recovery,
                 recovery_of=recovery_of,
             )
+        # Fragment trains ride the burst path: one fabric call (and one
+        # arrival cohort on the uplink) per command instead of one per
+        # datagram, with packets drawn from the freelist.
         nbytes = 0
+        burst = []
         for datagram in self.codec.fragment(command, seq=seq):
             nbytes += datagram.wire_nbytes
-            self.network.send(
-                Packet(
-                    src=self.address,
-                    dst=self.console_address,
-                    nbytes=datagram.wire_nbytes,
+            burst.append(
+                Packet.acquire(
+                    self.address,
+                    self.console_address,
+                    datagram.wire_nbytes,
                     payload=datagram,
                     flow=DISPLAY_FLOW,
                     trace_id=trace_id,
                 )
             )
+        self.network.send_burst(burst)
         self.stats.messages_sent += 1
         self.stats.wire_bytes += nbytes
         if recovery:

@@ -1,0 +1,488 @@
+"""Seeded equivalence locks for the batching tier.
+
+PR-5 style: these tests pin the *scalar* semantics before the batched
+rewrite lands, then hold the cohort-drain engine and the burst/fast
+fabric transit to them bit for bit.
+
+* the engine's firing order (including same-timestamp ties) is checked
+  against an independent stable-sort oracle, not against the engine
+  itself, so cohort draining cannot quietly redefine the contract;
+* ``schedule_batch`` must be observationally identical to N scalar
+  ``schedule`` calls at the same instant;
+* the fast transit path (``set_fast_transit``) must reproduce the
+  scalar path's delivery traces, RNG stream consumption, folded link
+  statistics, and mid-run introspection exactly — under Bernoulli
+  loss, Gilbert–Elliott burst loss, jitter, and queue-limit drops;
+* fixed-seed experiment tables (`fig8`, `lossy_fabric`) stay
+  byte-identical between the two modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import GilbertElliottLoss, Link, set_fast_transit
+from repro.netsim.packet import Packet
+from repro.netsim.transport import Endpoint, Network
+
+
+@pytest.fixture
+def scalar_fabric():
+    """Force the scalar transit path for the duration of a test."""
+    previous = set_fast_transit(False)
+    yield
+    set_fast_transit(previous)
+
+
+def _with_transit(fast: bool, fn):
+    previous = set_fast_transit(fast)
+    try:
+        return fn()
+    finally:
+        set_fast_transit(previous)
+
+
+# ---------------------------------------------------------------------------
+# Engine ordering vs an independent oracle
+# ---------------------------------------------------------------------------
+
+
+class _OracleEngine:
+    """A deliberately naive reference engine: stable sort on (when, seq).
+
+    Ten lines of obviously-correct semantics the real engine must match
+    event for event, whatever cohort tricks it plays internally.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._events = []
+        self._seq = 0
+
+    def schedule(self, delay, callback):
+        self._events.append((self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def run(self):
+        while self._events:
+            self._events.sort(key=lambda e: (e[0], e[1]))
+            when, _, callback = self._events.pop(0)
+            self.now = when
+            callback()
+
+
+def _drive(engine, order, rng_seed: int) -> None:
+    """A deterministic cascading workload with many same-time ties."""
+    rng = np.random.default_rng(rng_seed)
+    delays = rng.integers(0, 5, size=200) * 0.001  # coarse grid => ties
+    fanout = rng.integers(0, 3, size=200)
+
+    def fire(tag: int):
+        def cb():
+            order.append((engine.now, tag))
+            for child in range(int(fanout[tag % 200])):
+                nxt = (tag * 7 + child * 13 + 1) % 200
+                if tag < 600:  # bounded cascade
+                    engine.schedule(float(delays[nxt]), fire(tag + 200))
+
+        return cb
+
+    for tag in range(40):
+        engine.schedule(float(delays[tag]), fire(tag))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_engine_order_matches_stable_sort_oracle(seed):
+    real_order, oracle_order = [], []
+    sim = Simulator()
+    _drive(sim, real_order, seed)
+    sim.run()
+    oracle = _OracleEngine()
+    _drive(oracle, oracle_order, seed)
+    oracle.run()
+    assert real_order == oracle_order
+    assert len(real_order) > 40  # the cascade actually cascaded
+
+
+def test_schedule_batch_equivalent_to_scalar_schedules():
+    """N callbacks in one batch == N consecutive schedule() calls."""
+
+    def run(batched: bool):
+        sim = Simulator()
+        order = []
+
+        def tag(t):
+            return lambda: order.append((sim.now, t))
+
+        # Interleave: earlier tie, the batch, later tie — FIFO must hold.
+        sim.schedule(0.005, tag("before"))
+        if batched:
+            sim.schedule_batch(0.005, [tag("a"), tag("b"), tag("c")])
+        else:
+            sim.schedule(0.005, tag("a"))
+            sim.schedule(0.005, tag("b"))
+            sim.schedule(0.005, tag("c"))
+        sim.schedule(0.005, tag("after"))
+        sim.schedule(0.001, lambda: sim.schedule(0.004, tag("nested")))
+        sim.run()
+        return order, sim.events_processed
+
+    scalar_order, scalar_count = run(batched=False)
+    batch_order, batch_count = run(batched=True)
+    assert batch_order == scalar_order
+    assert batch_count == scalar_count  # cohort counts every member
+
+
+def test_schedule_batch_members_count_and_pending():
+    sim = Simulator()
+    hits = []
+    sim.schedule_batch(0.01, [lambda: hits.append(1)] * 4)
+    sim.schedule(0.02, lambda: hits.append(2))
+    assert sim.pending == 5  # batch members are individually pending
+    sim.run()
+    assert len(hits) == 5
+    assert sim.events_processed == 5
+    assert sim.pending == 0
+
+
+def test_schedule_batch_empty_and_negative():
+    sim = Simulator()
+    sim.schedule_batch(0.01, [])
+    assert sim.pending == 0
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        sim.schedule_batch(-1.0, [lambda: None])
+
+
+def test_stop_mid_cohort_leaves_rest_queued():
+    """stop() between batch members matches scalar stop() semantics:
+    the remaining members stay queued and fire on the next run()."""
+    sim = Simulator()
+    order = []
+
+    def mk(t):
+        return lambda: order.append(t)
+
+    def stopper():
+        order.append("stop")
+        sim.stop()
+
+    sim.schedule_batch(0.01, [mk("a"), stopper, mk("b"), mk("c")])
+    sim.run()
+    assert order == ["a", "stop"]
+    sim.run()
+    assert order == ["a", "stop", "b", "c"]
+
+
+def test_monitor_cadence_with_batches():
+    """Monitor fires on every crossing of the `every` boundary even when
+    cohorts bump the counter by more than one."""
+    sim = Simulator()
+    ticks = []
+
+    def monitor(s):
+        ticks.append(s.events_processed)
+
+    monitor.every = 10
+    sim.set_monitor(monitor)
+    for k in range(5):
+        sim.schedule_batch(0.0001 * (k + 1), [lambda: None] * 4)  # 20 events
+    for i in range(15):
+        sim.schedule(0.002 + i * 0.001, lambda: None)  # 15 singletons
+    sim.run(max_events=100)
+    assert sim.events_processed == 35
+    # Counter path: 4, 8, 12, 16, 20, then 21..35 — one check per
+    # cohort, so the boundary crossings fire at 12, 20, and 30.
+    assert ticks == [12, 20, 30]
+
+
+# ---------------------------------------------------------------------------
+# Fast transit vs scalar transit
+# ---------------------------------------------------------------------------
+
+
+def _run_link_workload(
+    *,
+    loss_rate=0.0,
+    jitter=0.0,
+    burst_loss=None,
+    queue_limit=None,
+    seed=123,
+    use_burst=False,
+):
+    """One lossy/jittery link under a seeded bursty workload.
+
+    Returns (delivery trace, accepted flags, folded stats, rng state,
+    mid-run probes) — everything the fast path must reproduce exactly.
+    """
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    delivered = []
+    link = Link(
+        sim,
+        rate_bps=10e6,
+        propagation_delay=20e-6,
+        deliver=lambda p: delivered.append((sim.now, p.payload, p.nbytes)),
+        queue_limit_bytes=queue_limit,
+        loss_rate=loss_rate,
+        jitter=jitter,
+        burst_loss=burst_loss,
+        rng=rng if (loss_rate or jitter or burst_loss is not None) else None,
+    )
+    plan = np.random.default_rng(seed + 1)
+    sizes = plan.integers(64, 1500, size=120)
+    gaps = plan.integers(0, 3, size=120) * 150e-6
+    accepted = []
+    cursor = [0]
+
+    def send_some():
+        i = cursor[0]
+        if i >= 120:
+            return
+        n = int(plan.integers(1, 5))  # a small train at one instant
+        train = [
+            Packet(
+                src="a", dst="b", nbytes=int(sizes[(i + k) % 120]),
+                payload=i + k,
+            )
+            for k in range(n)
+        ]
+        if use_burst and len(train) > 1:
+            accepted.extend(link.send_burst(train))
+        else:
+            for p in train:
+                accepted.append(link.send(p))
+        cursor[0] = i + n
+        sim.schedule(float(gaps[i % 120]) + 1e-6, send_some)
+
+    sim.schedule(0.0, send_some)
+    probes = []
+    for slice_end in (0.001, 0.0025, 0.004, 0.02):
+        sim.run_until(slice_end)
+        probes.append(
+            (link.queue_depth, link.queued_bytes, round(link.utilization(), 12))
+        )
+    sim.run()
+    stats = link.stats
+    return (
+        delivered,
+        accepted,
+        (
+            stats.packets_sent,
+            stats.bytes_sent,
+            stats.packets_dropped,
+            stats.packets_lost,
+            stats.queue_delay_total,
+            stats.busy_time,
+        ),
+        rng.bit_generator.state if link.rng is not None else None,
+        probes,
+    )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"loss_rate": 0.15},
+        {"jitter": 40e-6},
+        {"loss_rate": 0.1, "jitter": 25e-6},
+        {"queue_limit": 4000},
+        {"loss_rate": 0.2, "queue_limit": 3000},
+    ],
+    ids=["clean", "bernoulli", "jitter", "loss+jitter", "taildrop", "loss+drop"],
+)
+def test_fast_transit_matches_scalar(kwargs):
+    scalar = _with_transit(False, lambda: _run_link_workload(**kwargs))
+    fast = _with_transit(True, lambda: _run_link_workload(**kwargs))
+    assert fast == scalar
+
+
+def test_fast_transit_matches_scalar_gilbert_elliott():
+    def run():
+        return _run_link_workload(
+            burst_loss=GilbertElliottLoss(0.05, 0.3, loss_good=0.01),
+            seed=77,
+        )
+
+    assert _with_transit(True, run) == _with_transit(False, run)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{}, {"loss_rate": 0.12}, {"loss_rate": 0.1, "jitter": 30e-6}],
+    ids=["clean", "bernoulli", "loss+jitter"],
+)
+def test_send_burst_matches_scalar_sends(kwargs):
+    """send_burst consumes the RNG stream in per-packet order: a bursty
+    workload produces the same trace whether trains go through
+    send_burst or one send() per packet — in both transit modes."""
+    for fast in (False, True):
+        loop = _with_transit(
+            fast, lambda: _run_link_workload(use_burst=False, **kwargs)
+        )
+        burst = _with_transit(
+            fast, lambda: _run_link_workload(use_burst=True, **kwargs)
+        )
+        assert burst == loop, f"fast={fast}"
+
+
+def _run_star_workload(*, seed=5, loss_rate=0.0, use_burst=False):
+    """A three-endpoint switched star with crossing traffic."""
+    sim = Simulator()
+    network = Network(sim, default_rate_bps=100e6)
+    log = []
+
+    def rx(name):
+        return lambda p: log.append((round(sim.now, 12), name, p.nbytes, p.flow))
+
+    rng = np.random.default_rng(seed)
+    for name in ("a", "b", "c"):
+        network.attach(
+            Endpoint(name, on_receive=rx(name)),
+            loss_rate=loss_rate,
+            rng=np.random.default_rng(seed + ord(name)) if loss_rate else None,
+        )
+    plan = np.random.default_rng(seed + 99)
+    names = ("a", "b", "c")
+
+    def emit(i):
+        def cb():
+            src = names[i % 3]
+            dst = names[(i + 1 + int(plan.integers(0, 2))) % 3]
+            if dst == src:
+                dst = names[(i + 2) % 3]
+            train = [
+                Packet(src=src, dst=dst, nbytes=int(plan.integers(64, 1400)),
+                       flow=f"f{i}")
+                for _ in range(int(plan.integers(1, 4)))
+            ]
+            if use_burst:
+                network.send_burst(train)
+            else:
+                for p in train:
+                    network.send(p)
+
+        return cb
+
+    for i in range(60):
+        sim.schedule(float(plan.integers(0, 40)) * 1e-4, emit(i))
+    sim.run()
+    counts = tuple(
+        (network.endpoint(n).packets_received, network.endpoint(n).bytes_received)
+        for n in names
+    )
+    return log, counts, network.switch.packets_forwarded
+
+
+@pytest.mark.parametrize("loss_rate", [0.0, 0.1], ids=["clean", "lossy"])
+def test_switched_star_fast_matches_scalar(loss_rate):
+    scalar = _with_transit(False, lambda: _run_star_workload(loss_rate=loss_rate))
+    fast = _with_transit(True, lambda: _run_star_workload(loss_rate=loss_rate))
+    assert fast == scalar
+
+
+def test_network_send_burst_matches_scalar_sends():
+    for fast in (False, True):
+        loop = _with_transit(fast, lambda: _run_star_workload(use_burst=False))
+        burst = _with_transit(fast, lambda: _run_star_workload(use_burst=True))
+        assert burst == loop, f"fast={fast}"
+
+
+def test_switch_ingress_burst_matches_sequential_ingress():
+    """ingress_burst(train) == for p in train: ingress(p)."""
+
+    def run(burst: bool, fast: bool):
+        def inner():
+            sim = Simulator()
+            network = Network(sim, default_rate_bps=100e6)
+            log = []
+            for name in ("a", "b"):
+                network.attach(
+                    Endpoint(
+                        name,
+                        on_receive=lambda p, n=name: log.append(
+                            (round(sim.now, 12), n, p.nbytes)
+                        ),
+                    )
+                )
+            switch = network.switch
+            train = [
+                Packet(src="x", dst="a" if i % 3 else "b", nbytes=200 + i)
+                for i in range(12)
+            ]
+
+            def inject():
+                if burst:
+                    switch.ingress_burst(train)
+                else:
+                    for p in train:
+                        switch.ingress(p)
+
+            sim.schedule(0.001, inject)
+            sim.run()
+            return log, switch.packets_forwarded
+
+        return _with_transit(fast, inner)
+
+    for fast in (False, True):
+        assert run(True, fast) == run(False, fast), f"fast={fast}"
+
+
+# ---------------------------------------------------------------------------
+# Fixed-seed experiment tables stay byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _lossy_session_fingerprint():
+    from repro.experiments.lossy_fabric import run_lossy_session
+
+    channel = run_lossy_session(0.05, updates=6, seed=3)
+    uplink = channel.network.uplink("server")
+    downlink = channel.network.downlink("console")
+    return (
+        channel.console.framebuffer.pixels.tobytes(),
+        channel.recoveries,
+        channel.refreshes,
+        channel.converged,
+        uplink.stats.packets_sent,
+        uplink.stats.packets_lost,
+        downlink.stats.packets_sent,
+        downlink.stats.packets_lost,
+        channel.network.endpoint("console").packets_received,
+        channel.server_channel.stats.wire_bytes,
+    )
+
+
+def test_lossy_session_table_byte_identical():
+    scalar = _with_transit(False, _lossy_session_fingerprint)
+    fast = _with_transit(True, _lossy_session_fingerprint)
+    assert fast == scalar
+
+
+def _yardstick_fingerprint():
+    from repro.experiments.lossy_fabric import yardstick_on_lossy_fabric
+
+    rtt, probe_loss = yardstick_on_lossy_fabric(0.1, sim_seconds=4.0, seed=11)
+    return repr((rtt, probe_loss)).encode()
+
+
+def test_lossy_yardstick_table_byte_identical():
+    assert _with_transit(True, _yardstick_fingerprint) == _with_transit(
+        False, _yardstick_fingerprint
+    )
+
+
+def _fig8_fingerprint():
+    from repro.experiments.fig8 import bandwidth_table
+
+    return repr(bandwidth_table(n_users=2, duration=20.0, seed=9)).encode()
+
+
+def test_fig8_table_byte_identical():
+    assert _with_transit(True, _fig8_fingerprint) == _with_transit(
+        False, _fig8_fingerprint
+    )

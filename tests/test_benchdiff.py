@@ -134,6 +134,16 @@ class TestThresholds:
         assert t.for_metric("wall_seconds") == 0.5
         assert t.for_metric("mem") == pytest.approx(0.2)
 
+    def test_scenario_qualified_beats_bare_metric(self):
+        t = Thresholds(
+            default=0.25,
+            per_metric={"rate": 0.20, "hot.rate": 0.10},
+        )
+        assert t.for_metric("rate", scenario="hot") == 0.10
+        assert t.for_metric("rate", scenario="cold") == 0.20
+        assert t.for_metric("rate") == 0.20
+        assert t.for_metric("other", scenario="hot") == 0.25
+
 
 class TestDiffDocuments:
     def test_regression_detected_and_exit_code(self):
@@ -191,6 +201,17 @@ class TestDiffDocuments:
         )
         assert loose.exit_code() == 0
         assert strict.exit_code() == 1
+
+    def test_scenario_qualified_threshold_applies(self):
+        old, new = one_metric_docs(100.0, 112.0)  # +12% on scenario "s"
+        strict = diff_documents(
+            old, new, Thresholds(default=0.25, per_metric={"s.m": 0.10})
+        )
+        other = diff_documents(
+            old, new, Thresholds(default=0.25, per_metric={"other.m": 0.10})
+        )
+        assert strict.exit_code() == 1
+        assert other.exit_code() == 0
 
     def test_scaled_thresholds_forgive_more(self):
         old, new = one_metric_docs(1.0, 1.4)  # +40%

@@ -11,6 +11,8 @@ refresh loop here: ``sim.run()`` drains once the status exchange has
 confirmed convergence.
 """
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 
@@ -23,6 +25,18 @@ def make_channel(loss_rate, seed=42, **kwargs):
     channel = DisplayChannel(server_fb, loss_rate=loss_rate, seed=seed, **kwargs)
     driver = channel.make_driver(track_baselines=False)
     return server_fb, channel, driver
+
+
+@contextmanager
+def blackhole(network):
+    """Silently drop everything sent while active (both send APIs)."""
+    real_send, real_burst = network.send, network.send_burst
+    network.send = lambda packet: True
+    network.send_burst = lambda packets: [True] * len(packets)
+    try:
+        yield
+    finally:
+        network.send, network.send_burst = real_send, real_burst
 
 
 @pytest.mark.parametrize("loss_rate", [0.05, 0.2])
@@ -59,12 +73,10 @@ def test_tail_loss_recovered_by_status_exchange():
 
     # Lose *every* packet of the final update: nothing afterwards exposes
     # the gap except the periodic SYNC.
-    real_send = channel.network.send
-    channel.network.send = lambda packet: True
-    driver.update(
-        1.0, [PaintOp(PaintKind.FILL, Rect(30, 30, 40, 40), color=(200, 0, 0))]
-    )
-    channel.network.send = real_send
+    with blackhole(channel.network):
+        driver.update(
+            1.0, [PaintOp(PaintKind.FILL, Rect(30, 30, 40, 40), color=(200, 0, 0))]
+        )
     channel.sim.run()
     assert server_fb.equals(channel.console.framebuffer)
     assert channel.console.framebuffer.pixel(35, 35) == (200, 0, 0)
@@ -81,12 +93,11 @@ def test_gap_recovery_handles_copy_safely():
     channel.sim.run()
     # Lose the COPY on the wire (the server still painted and sequenced
     # it), then mutate the source region.
-    real_send = channel.network.send
-    channel.network.send = lambda packet: True
-    driver.update(
-        1.0, [PaintOp(PaintKind.COPY, Rect(40, 0, 16, 16), src=Rect(0, 0, 16, 16))]
-    )
-    channel.network.send = real_send
+    with blackhole(channel.network):
+        driver.update(
+            1.0,
+            [PaintOp(PaintKind.COPY, Rect(40, 0, 16, 16), src=Rect(0, 0, 16, 16))],
+        )
     driver.update(
         2.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(0, 200, 0))]
     )
@@ -113,12 +124,10 @@ def test_delivered_copy_from_lost_region_is_repaired():
     )
     channel.sim.run()
     # Lose a repaint of the source region...
-    real_send = channel.network.send
-    channel.network.send = lambda packet: True
-    driver.update(
-        1.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
-    )
-    channel.network.send = real_send
+    with blackhole(channel.network):
+        driver.update(
+            1.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 16, 16), color=(200, 0, 0))]
+        )
     # ...then deliver a COPY that reads it, and a second-hop COPY of the
     # first copy's destination (the chain must be chased transitively).
     driver.update(
@@ -153,12 +162,10 @@ def test_damage_map_eviction_falls_back_to_refresh():
     server_fb, channel, driver = make_channel(0.0, damage_capacity=4)
     # Burn through the damage map with many small updates, losing one
     # early update entirely.
-    real_send = channel.network.send
-    channel.network.send = lambda packet: True
-    driver.update(
-        0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 8, 8), color=(50, 60, 70))]
-    )
-    channel.network.send = real_send
+    with blackhole(channel.network):
+        driver.update(
+            0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 8, 8), color=(50, 60, 70))]
+        )
     for i in range(8):
         driver.update(
             1.0 + i,

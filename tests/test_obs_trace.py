@@ -282,6 +282,7 @@ class TestZeroOverhead:
             return original(packet)
 
         channel.network.send = spy
+        channel.network.send_burst = lambda packets: [spy(p) for p in packets]
         from repro.core import commands as cmd
         from repro.core.commands import StatusKind
 

@@ -1,0 +1,120 @@
+"""The allocation-free steady state (freelists + fast transit).
+
+A warmed-up session must stop churning the allocator: packets come from
+the :class:`~repro.netsim.packet.Packet` freelist, the fast transit
+path's pending-credit records come from the link's record pools, and
+everything else the fabric allocates per event is transient (net zero).
+The guard is a tracemalloc diff over a steady-state slice of the same
+end-to-end session the ``e2e_session`` perf scenario runs, filtered to
+the netsim hot-path modules.
+"""
+
+import tracemalloc
+
+from repro.framebuffer import FrameBuffer, PaintKind, PaintOp, Rect
+from repro.netsim import packet as packet_module
+from repro.netsim.packet import Packet
+from repro.transport import DisplayChannel
+
+#: Net surviving allocation blocks tolerated beyond the packet-pool
+#: size.  A handful of O(1) live-state objects churn identity every
+#: event (the floats behind running stats totals, the current heap
+#: entries, pool list cells) and show up as "new" blocks even though
+#: their count is constant; likewise each *pooled* packet holds the int
+#: of its most recent ``packet_id``, allocated during the slice — that
+#: term is O(pool size).  A real per-packet leak would instead scale
+#: with the hundreds of packets the slice moves (asserted below).
+NET_BLOCK_SLACK = 48
+
+
+def _desktop_ops(width: int, height: int, seed: int):
+    return [
+        PaintOp(PaintKind.FILL, Rect(0, 0, width, height), color=(52, 70, 90)),
+        PaintOp(
+            PaintKind.TEXT,
+            Rect(8, 8, width // 2, height // 2),
+            fg=(0, 0, 0),
+            bg=(255, 255, 255),
+            seed=seed,
+            char_count=200,
+        ),
+        # A noisy full-screen image: incompressible pixels fragment into
+        # a long SET train, so the slice moves real packet volume.
+        PaintOp(
+            PaintKind.IMAGE,
+            Rect(0, 0, width, height),
+            seed=seed + 1,
+            uniform_fraction=0.0,
+        ),
+    ]
+
+
+def _run_slice(channel, driver, ops, rounds: int) -> None:
+    for _ in range(rounds):
+        for op in ops:
+            driver.update(channel.sim.now, [op])
+            channel.run()
+
+
+def test_warmed_session_slice_is_allocation_free():
+    width, height = 160, 120
+    server_fb = FrameBuffer(width, height)
+    channel = DisplayChannel(server_fb)
+    driver = channel.make_driver(track_baselines=False)
+    ops = _desktop_ops(width, height, seed=5)
+
+    # Warm-up: primes the packet freelist, the link record pools, the
+    # engine queue's backing list, and every lazily-built code path.
+    _run_slice(channel, driver, ops, rounds=3)
+    assert packet_module._pool, "warm-up never returned a packet to the pool"
+    pool_before = len(packet_module._pool)
+
+    netsim_filters = [
+        tracemalloc.Filter(True, "*/repro/netsim/packet.py"),
+        tracemalloc.Filter(True, "*/repro/netsim/link.py"),
+        tracemalloc.Filter(True, "*/repro/netsim/engine.py"),
+        tracemalloc.Filter(True, "*/repro/netsim/switch.py"),
+    ]
+    packets_before = channel.network.uplink("server").stats.packets_sent
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot().filter_traces(netsim_filters)
+        _run_slice(channel, driver, ops, rounds=5)
+        after = tracemalloc.take_snapshot().filter_traces(netsim_filters)
+    finally:
+        tracemalloc.stop()
+
+    packets_moved = (
+        channel.network.uplink("server").stats.packets_sent - packets_before
+    )
+    assert packets_moved > 200, "slice did not exercise real traffic"
+    net_blocks = sum(
+        diff.count_diff for diff in after.compare_to(before, "filename")
+    )
+    budget = len(packet_module._pool) + NET_BLOCK_SLACK
+    assert net_blocks <= budget, (
+        f"steady-state slice leaked {net_blocks} allocation blocks "
+        f"(budget {budget}) across {packets_moved} packets in the netsim "
+        "hot path (freelists not recycling?)"
+    )
+    # The pool really cycled: the steady state reuses the warmed packets
+    # rather than growing the freelist further.
+    assert len(packet_module._pool) == pool_before
+    assert server_fb.equals(channel.console.framebuffer)
+
+
+def test_release_caps_pool_and_clears_payload():
+    marker = object()
+    packet = Packet.acquire("a", "b", 100, payload=marker)
+    assert packet.pooled
+    packet.release()
+    assert not packet.pooled
+    assert packet.payload is None
+    # Double release is a no-op (flag already cleared).
+    before = len(packet_module._pool)
+    packet.release()
+    assert len(packet_module._pool) == before
+    # Plain constructor packets never enter the pool.
+    plain = Packet(src="a", dst="b", nbytes=10)
+    plain.release()
+    assert plain not in packet_module._pool

@@ -39,6 +39,23 @@ def make_channel(loss_rate, seed=42, width=160, height=120, **kwargs):
     return server_fb, channel, driver
 
 
+def intercept_sends(network, per_packet):
+    """Route both fabric send APIs through a per-packet interceptor.
+
+    Channels now emit fragment trains via ``send_burst``, so tests that
+    spy on / drop traffic must hook both entry points.  Returns a
+    restore function.
+    """
+    real_send, real_burst = network.send, network.send_burst
+
+    def restore():
+        network.send, network.send_burst = real_send, real_burst
+
+    network.send = per_packet
+    network.send_burst = lambda packets: [per_packet(p) for p in packets]
+    return restore
+
+
 def run_session(channel, driver, updates=10, width=160, height=120, seed=7):
     rng = np.random.default_rng(seed)
     display = NETSCAPE.display_model()
@@ -95,14 +112,16 @@ class TestReorderTolerance:
             0.0, width=64, height=48, nack_delay=0.005
         )
         captured = []
-        real_send = channel.network.send
-        channel.network.send = lambda packet: bool(captured.append(packet)) or True
+        restore = intercept_sends(
+            channel.network, lambda packet: bool(captured.append(packet)) or True
+        )
         ops = [
             PaintOp(PaintKind.FILL, Rect(16 * i, 0, 16, 48), color=(10 * i, 5, 5))
             for i in range(4)
         ]
         driver.update(0.0, ops)
-        channel.network.send = real_send
+        restore()
+        assert captured  # the spy really did divert the display train
         # Deliver the display datagrams fully reversed, 0.5 ms apart —
         # inside the reorder window, so no NACK may fire.
         endpoint = channel.console_channel.endpoint
@@ -120,10 +139,11 @@ class TestRecoveryPaths:
         server_fb, channel, driver = make_channel(0.0)
         real_send = channel.network.send
         # Lose one display update entirely, then also lose the first NACK.
-        channel.network.send = lambda packet: True
+        restore = intercept_sends(channel.network, lambda packet: True)
         driver.update(
             0.0, [PaintOp(PaintKind.FILL, Rect(0, 0, 32, 32), color=(77, 0, 0))]
         )
+        restore()
         state = {"dropped": 0}
 
         def flaky(packet):
@@ -137,7 +157,7 @@ class TestRecoveryPaths:
                     return True  # swallow the first NACK
             return real_send(packet)
 
-        channel.network.send = flaky
+        intercept_sends(channel.network, flaky)
         channel.sim.run()
         assert state["dropped"] == 1
         assert channel.console_channel.stats.nacks_sent >= 2
@@ -155,12 +175,12 @@ class TestRecoveryPaths:
                 return True
             return real_send(packet)
 
-        channel.network.send = drop_second_fragment
+        restore = intercept_sends(channel.network, drop_second_fragment)
         # A noisy image op encodes as multi-fragment SET messages.
         driver.update(
             0.0, [PaintOp(PaintKind.IMAGE, Rect(0, 0, 64, 64), seed=3)]
         )
-        channel.network.send = real_send
+        restore()
         channel.sim.run()
         assert server_fb.equals(channel.console.framebuffer)
         assert channel.recoveries >= 1
@@ -227,7 +247,7 @@ class TestStatusExchange:
                     return True
             return real_send(packet)
 
-        channel.network.send = drop_first_sync
+        intercept_sends(channel.network, drop_first_sync)
         channel.sim.run()
         assert state["dropped"]
         assert channel.refreshes == 0  # ephemeral seq: no pixels re-sent
